@@ -1,0 +1,106 @@
+"""Fig. 14 — latency benefit of the model acceleration (CIIA).
+
+Paper numbers: dynamic anchor placement cuts RPN-stage latency by 46% and
+inference latency by 21% (fewer RoIs produced); RoI pruning cuts inference
+latency by 43%; together the module halves total latency (-48%) while the
+accuracy stays above 0.92 IoU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import Table
+from repro.image import mask_iou
+from repro.model import SimulatedSegmentationModel, instructions_from_masks
+from repro.synthetic import make_dataset
+
+VARIANTS = (
+    ("full model", False, False),
+    ("+ dynamic anchors", True, False),
+    ("+ RoI pruning", False, True),
+    ("+ both (CIIA)", True, True),
+)
+
+
+def run_fig14(num_frames: int = 25, seed: int = 0, quiet: bool = False) -> dict:
+    video = make_dataset("xiph_like", num_frames=num_frames, seed=seed)
+    model = SimulatedSegmentationModel(
+        "mask_rcnn_r101", "jetson_tx2", np.random.default_rng(seed)
+    )
+    accumulators = {
+        name: {"rpn": [], "inference": [], "total": [], "iou": [], "rois": []}
+        for name, _, _ in VARIANTS
+    }
+    for frame, truth in video:
+        instructions = instructions_from_masks(truth.masks)
+        for name, use_dap, use_prune in VARIANTS:
+            result = model.infer(
+                truth.masks,
+                frame.shape,
+                instructions=instructions if (use_dap or use_prune) else None,
+                use_dynamic_anchors=use_dap,
+                use_roi_pruning=use_prune,
+            )
+            bucket = accumulators[name]
+            bucket["rpn"].append(result.rpn_ms)
+            bucket["inference"].append(result.inference_ms)
+            bucket["total"].append(result.total_ms)
+            bucket["rois"].append(result.num_rois)
+            truth_by_id = {m.instance_id: m for m in truth.masks}
+            for detection in result.masks:
+                gt = truth_by_id.get(detection.instance_id)
+                if gt is not None:
+                    bucket["iou"].append(mask_iou(detection.mask, gt.mask))
+
+    summary = {
+        name: {key: float(np.mean(values)) for key, values in bucket.items()}
+        for name, bucket in accumulators.items()
+    }
+    base = summary["full model"]
+
+    if not quiet:
+        table = Table(
+            "Fig. 14 — CIIA latency decomposition (TX2)",
+            ["variant", "RPN ms", "infer ms", "total ms", "RPN cut", "infer cut", "total cut", "IoU"],
+        )
+        for name, _, _ in VARIANTS:
+            row = summary[name]
+            table.add_row(
+                name,
+                row["rpn"],
+                row["inference"],
+                row["total"],
+                f"{1 - row['rpn'] / base['rpn']:.0%}",
+                f"{1 - row['inference'] / base['inference']:.0%}",
+                f"{1 - row['total'] / base['total']:.0%}",
+                row["iou"],
+            )
+        table.print()
+        print(
+            "paper: DAP -46% RPN / -21% inference; pruning -43% inference; "
+            "both -48% total at >= 0.92 IoU\n"
+        )
+    return summary
+
+
+def bench_fig14_acceleration(benchmark):
+    summary = benchmark.pedantic(
+        run_fig14, kwargs={"num_frames": 10, "quiet": True}, rounds=1, iterations=1
+    )
+    base = summary["full model"]
+    dap = summary["+ dynamic anchors"]
+    prune = summary["+ RoI pruning"]
+    both = summary["+ both (CIIA)"]
+    # DAP cuts the RPN stage substantially; pruning leaves it untouched.
+    assert 0.25 < 1 - dap["rpn"] / base["rpn"] < 0.75
+    assert abs(prune["rpn"] - base["rpn"]) / base["rpn"] < 0.05
+    # Pruning cuts inference latency substantially.
+    assert 0.25 < 1 - prune["inference"] / base["inference"] < 0.80
+    # Together: roughly half the total latency, accuracy preserved.
+    assert 0.35 < 1 - both["total"] / base["total"] < 0.75
+    assert both["iou"] > 0.85
+
+
+if __name__ == "__main__":
+    run_fig14()

@@ -1,0 +1,80 @@
+"""Fig. 2b — the motivation study: accuracy/latency trade-off of YOLOv3,
+YOLACT and Mask R-CNN on an edge-class device.
+
+Paper numbers: YOLOv3 > 0.98 (box) IoU at < 30 ms; YOLACT 0.75 IoU at
+~120 ms; Mask R-CNN 0.92 IoU at ~400 ms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import Table
+from repro.image import box_iou, mask_iou
+from repro.model import PROFILES, SimulatedSegmentationModel
+from repro.synthetic import make_dataset
+
+
+def run_fig2(num_frames: int = 20, seed: int = 0, quiet: bool = False) -> dict:
+    video = make_dataset("xiph_like", num_frames=num_frames, seed=seed)
+    results: dict[str, dict] = {}
+    for profile_name in ("yolov3", "yolact_r50", "mask_rcnn_r101"):
+        model = SimulatedSegmentationModel(
+            profile_name, "jetson_tx2", np.random.default_rng(seed)
+        )
+        ious: list[float] = []
+        latencies: list[float] = []
+        for frame, truth in video:
+            inference = model.infer(truth.masks, frame.shape)
+            latencies.append(inference.total_ms)
+            truth_by_id = {m.instance_id: m for m in truth.masks}
+            for detection in inference.masks:
+                gt = truth_by_id.get(detection.instance_id)
+                if gt is None:
+                    continue
+                if PROFILES[profile_name].boxes_only:
+                    # A detector is judged on boxes, as in the paper.
+                    if detection.box and gt.box:
+                        ious.append(box_iou(detection.box, gt.box))
+                else:
+                    ious.append(mask_iou(detection.mask, gt.mask))
+        results[profile_name] = {
+            "mean_iou": float(np.mean(ious)) if ious else 0.0,
+            "mean_latency_ms": float(np.mean(latencies)),
+        }
+
+    if not quiet:
+        table = Table(
+            "Fig. 2b — model accuracy vs latency (TX2-class edge)",
+            ["model", "IoU", "latency ms", "paper IoU", "paper latency"],
+        )
+        paper = {
+            "yolov3": (0.98, "<30"),
+            "yolact_r50": (0.75, "~120"),
+            "mask_rcnn_r101": (0.92, "~400"),
+        }
+        for name, row in results.items():
+            table.add_row(
+                name, row["mean_iou"], row["mean_latency_ms"], paper[name][0], paper[name][1]
+            )
+        table.print()
+    return results
+
+
+def bench_fig2_model_tradeoff(benchmark):
+    results = benchmark.pedantic(
+        run_fig2, kwargs={"num_frames": 8, "quiet": True}, rounds=1, iterations=1
+    )
+    # Shape: the detector is near-perfect and fast; YOLACT trades accuracy
+    # for speed; Mask R-CNN is accurate but slow.
+    assert results["yolov3"]["mean_latency_ms"] < 50
+    assert results["yolact_r50"]["mean_iou"] < results["mask_rcnn_r101"]["mean_iou"]
+    assert (
+        results["yolact_r50"]["mean_latency_ms"]
+        < results["mask_rcnn_r101"]["mean_latency_ms"]
+    )
+    assert results["mask_rcnn_r101"]["mean_latency_ms"] > 300
+
+
+if __name__ == "__main__":
+    run_fig2()

@@ -1,0 +1,106 @@
+"""Fig. 9 — overall instance-segmentation accuracy: IoU CDF and false
+rate of the five systems over the dataset suite at WiFi 5 GHz.
+
+Paper numbers (false rate at the strict 0.75 threshold): mobile-only
+78.3%, best-effort 60.1%, EdgeDuet 39%, EAAR 21%, edgeIS 3.9%; edgeIS
+mean IoU 0.92, a 10-20% improvement over EAAR/EdgeDuet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import SYSTEM_NAMES, ExperimentSpec, Table, format_cdf, run_experiment
+
+DATASETS = ("davis_like", "kitti_like", "xiph_like", "ar_indoor")
+
+
+def run_fig9(
+    num_frames: int = 150,
+    datasets: tuple[str, ...] = DATASETS,
+    systems: tuple[str, ...] = SYSTEM_NAMES,
+    seed: int = 0,
+    quiet: bool = False,
+) -> dict:
+    per_system_ious: dict[str, list[np.ndarray]] = {s: [] for s in systems}
+    for system in systems:
+        for dataset in datasets:
+            spec = ExperimentSpec(
+                system=system,
+                dataset=dataset,
+                network="wifi_5ghz",
+                num_frames=num_frames,
+                seed=seed,
+            )
+            result = run_experiment(spec).result
+            per_system_ious[system].append(result.per_object_ious())
+
+    summary: dict[str, dict] = {}
+    for system, arrays in per_system_ious.items():
+        ious = np.concatenate(arrays) if arrays else np.zeros(0)
+        summary[system] = {
+            "mean_iou": float(ious.mean()) if len(ious) else 0.0,
+            "false_rate_75": float((ious < 0.75).mean()) if len(ious) else 1.0,
+            "false_rate_50": float((ious < 0.5).mean()) if len(ious) else 1.0,
+            "cdf": format_cdf(ious),
+        }
+
+    if not quiet:
+        paper = {
+            "edgeis": 0.039,
+            "eaar": 0.21,
+            "edgeduet": 0.39,
+            "edge_best_effort": 0.601,
+            "mobile_only": 0.783,
+        }
+        table = Table(
+            "Fig. 9 — overall accuracy (all datasets, WiFi 5 GHz)",
+            ["system", "mean IoU", "false@0.75", "false@0.5", "paper false@0.75"],
+        )
+        for system in systems:
+            row = summary[system]
+            table.add_row(
+                system,
+                row["mean_iou"],
+                row["false_rate_75"],
+                row["false_rate_50"],
+                paper.get(system, float("nan")),
+            )
+        table.print()
+
+        cdf_table = Table(
+            "Fig. 9 — accuracy CDF, P[IoU <= x]",
+            ["system"] + [f"x={p}" for p in (0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.95)],
+        )
+        for system in systems:
+            cdf = summary[system]["cdf"]
+            cdf_table.add_row(system, *[cdf[p] for p in (0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.95)])
+        cdf_table.print()
+    return summary
+
+
+def bench_fig9_overall(benchmark):
+    summary = benchmark.pedantic(
+        run_fig9,
+        kwargs={
+            "num_frames": 120,
+            "datasets": ("davis_like", "xiph_like"),
+            "quiet": True,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    # Shape assertions: the paper's ordering must hold.
+    assert summary["edgeis"]["false_rate_75"] < summary["eaar"]["false_rate_75"]
+    assert summary["eaar"]["false_rate_75"] < summary["mobile_only"]["false_rate_75"]
+    assert (
+        summary["edge_best_effort"]["false_rate_75"]
+        < summary["mobile_only"]["false_rate_75"]
+    )
+    assert summary["edgeis"]["mean_iou"] > summary["eaar"]["mean_iou"]
+    assert summary["edgeis"]["mean_iou"] > summary["edgeduet"]["mean_iou"]
+    assert summary["edgeis"]["mean_iou"] > 0.85
+
+
+if __name__ == "__main__":
+    run_fig9()

@@ -1,0 +1,52 @@
+"""Section VI-F2 — power consumption.
+
+Paper numbers: running edgeIS for 10 minutes consumes 4.2% of an iPhone
+11 battery and 5.4% of a Galaxy S10's — comparable to running an
+ARKit/ARCore demo continuously.
+"""
+
+from __future__ import annotations
+
+from repro.eval import ExperimentSpec, Table, run_experiment
+
+DEVICES = ("iphone_11", "galaxy_s10")
+
+
+def run_power(num_frames: int = 300, seed: int = 0, quiet: bool = False) -> dict:
+    summary: dict[str, float] = {}
+    for device in DEVICES:
+        spec = ExperimentSpec(
+            system="edgeis",
+            dataset="ar_indoor",
+            network="wifi_5ghz",
+            num_frames=num_frames,
+            seed=seed,
+            monitor_resources=True,
+            power_device=device,
+        )
+        outcome = run_experiment(spec)
+        summary[device] = outcome.resources.extrapolate_battery_percent(minutes=10)
+
+    if not quiet:
+        paper = {"iphone_11": 4.2, "galaxy_s10": 5.4}
+        table = Table(
+            "Power — battery % consumed by 10 minutes of edgeIS",
+            ["device", "measured %", "paper %"],
+        )
+        for device in DEVICES:
+            table.add_row(device, summary[device], paper[device])
+        table.print()
+    return summary
+
+
+def bench_power_consumption(benchmark):
+    summary = benchmark.pedantic(
+        run_power, kwargs={"num_frames": 150, "quiet": True}, rounds=1, iterations=1
+    )
+    # Single-digit percent per 10 minutes, Galaxy slightly hungrier.
+    assert 1.0 < summary["iphone_11"] < 12.0
+    assert summary["galaxy_s10"] > summary["iphone_11"]
+
+
+if __name__ == "__main__":
+    run_power()

@@ -1,0 +1,70 @@
+"""Substrate qualification — VO trajectory quality (ATE / RPE).
+
+Not a paper figure: this bench certifies the tracking substrate that all
+of Section III rests on, using the standard SLAM metrics (Sim(3)-aligned
+absolute trajectory error; per-frame relative pose error).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import Table, evaluate_trajectory
+from repro.synthetic import make_dataset
+from repro.vo import OracleFrontend, VisualOdometry
+
+DATASETS = ("davis_like", "xiph_like", "oilfield")
+
+
+def _run(dataset: str, num_frames: int, seed: int):
+    video = make_dataset(dataset, num_frames=num_frames)
+    frontend = OracleFrontend(video.world, video.camera, seed=seed)
+    vo = VisualOdometry(video.camera)
+    estimated, truth = [], []
+    for frame, gt in video:
+        observation = frontend.observe(frame, gt)
+        result = vo.process_frame(frame.index, frame.timestamp, observation)
+        estimated.append(result.pose_cw if result.is_tracking else None)
+        truth.append(gt.pose_cw)
+    return evaluate_trajectory(estimated, truth)
+
+
+def run_vo_trajectory(num_frames: int = 120, seed: int = 1, quiet: bool = False) -> dict:
+    summary = {}
+    for dataset in DATASETS:
+        errors = _run(dataset, num_frames, seed)
+        summary[dataset] = {
+            "poses": errors.num_poses,
+            "ate_rmse": errors.ate_rmse,
+            "rpe_translation": errors.rpe_translation_median,
+            "rpe_rotation_deg": errors.rpe_rotation_deg_median,
+        }
+    if not quiet:
+        table = Table(
+            "VO substrate — trajectory quality (Sim(3)-aligned, meters)",
+            ["dataset", "poses", "ATE rmse", "RPE trans", "RPE rot deg"],
+        )
+        for dataset, row in summary.items():
+            table.add_row(
+                dataset,
+                row["poses"],
+                row["ate_rmse"],
+                row["rpe_translation"],
+                row["rpe_rotation_deg"],
+            )
+        table.print()
+    return summary
+
+
+def bench_vo_trajectory(benchmark):
+    summary = benchmark.pedantic(
+        run_vo_trajectory, kwargs={"num_frames": 90, "quiet": True}, rounds=1, iterations=1
+    )
+    for dataset, row in summary.items():
+        assert row["poses"] > 40
+        assert row["ate_rmse"] < 0.25  # centimeter-to-decimeter scale
+        assert row["rpe_rotation_deg"] < 0.5
+
+
+if __name__ == "__main__":
+    run_vo_trajectory()

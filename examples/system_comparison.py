@@ -1,0 +1,44 @@
+"""Compare edgeIS against the related systems on one scene.
+
+Runs edgeIS, EAAR, EdgeDuet, best-effort edge and mobile-only over the
+same video and network and prints the Fig. 9/11-style comparison rows.
+
+Run:  python examples/system_comparison.py [dataset] [network]
+      e.g. python examples/system_comparison.py kitti_like wifi_2.4ghz
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.eval import SYSTEM_NAMES, ExperimentSpec, Table, run_experiment
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "xiph_like"
+    network = sys.argv[2] if len(sys.argv) > 2 else "wifi_5ghz"
+
+    table = Table(
+        f"system comparison on {dataset} over {network}",
+        ["system", "mean IoU", "false@0.75", "false@0.5", "latency ms", "offloads"],
+    )
+    for system in SYSTEM_NAMES:
+        spec = ExperimentSpec(
+            system=system, dataset=dataset, network=network, num_frames=150
+        )
+        print(f"running {system} ...")
+        result = run_experiment(spec).result
+        table.add_row(
+            system,
+            result.mean_iou(),
+            result.false_rate(0.75),
+            result.false_rate(0.5),
+            result.mean_latency_ms(),
+            result.offload_count,
+        )
+    print()
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""edgeIS — edge-assisted real-time instance segmentation (ICDCS 2022).
+
+A from-scratch Python reproduction of the paper's "transfer+infer"
+mobile-edge collaboration system and every substrate it depends on:
+camera geometry, visual odometry, image features, contour/mask raster
+ops, a structurally-simulated Mask R-CNN with contour-instructed
+acceleration, tile-based video encoding, wireless channel models and a
+discrete-event mobile/edge runtime.
+
+Public entry points::
+
+    from repro import EdgeISSystem, SystemConfig
+    from repro.synthetic import make_dataset
+    from repro.eval import run_experiment
+
+See DESIGN.md for the module inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["EdgeISSystem", "SystemConfig", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro.<substrate>` cheap and free of
+    # cross-package import cycles.
+    if name == "EdgeISSystem":
+        from .core.system import EdgeISSystem
+
+        return EdgeISSystem
+    if name == "SystemConfig":
+        from .core.config import SystemConfig
+
+        return SystemConfig
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

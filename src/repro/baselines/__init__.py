@@ -1,0 +1,26 @@
+"""Compared systems: local trackers (motion-vector, MOSSE/KCF-class) and
+the four baseline clients of Section VI-B."""
+
+from .trackers import (
+    MosseTracker,
+    MotionVectorTracker,
+    block_match_shift,
+    shift_mask,
+)
+from .systems import (
+    BestEffortEdgeClient,
+    EAARClient,
+    EdgeDuetClient,
+    MobileOnlyClient,
+)
+
+__all__ = [
+    "MosseTracker",
+    "MotionVectorTracker",
+    "block_match_shift",
+    "shift_mask",
+    "BestEffortEdgeClient",
+    "EAARClient",
+    "EdgeDuetClient",
+    "MobileOnlyClient",
+]

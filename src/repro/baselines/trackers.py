@@ -1,0 +1,241 @@
+"""Local trackers used by the compared systems.
+
+EAAR tracks cached results with motion vectors; EdgeDuet uses KCF.  Both
+are *shift-only* trackers — exactly why the paper finds them "too coarse
+for segmentation": they move a cached mask rigidly and cannot follow
+contour deformation, rotation or scale change.
+
+* :class:`MotionVectorTracker` — per-object block matching (sum of
+  absolute differences over a search window), the encoder-motion-vector
+  stand-in.
+* :class:`MosseTracker` — a single-channel correlation-filter tracker
+  (MOSSE), the closest cheap relative of KCF, with the same failure modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..image.masks import InstanceMask
+
+__all__ = ["shift_mask", "block_match_shift", "MotionVectorTracker", "MosseTracker"]
+
+
+def shift_mask(mask: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Translate a boolean mask, filling the vacated border with False."""
+    out = np.zeros_like(mask)
+    h, w = mask.shape
+    src_y = slice(max(-dy, 0), min(h - dy, h))
+    src_x = slice(max(-dx, 0), min(w - dx, w))
+    dst_y = slice(max(dy, 0), min(h + dy, h))
+    dst_x = slice(max(dx, 0), min(w + dx, w))
+    out[dst_y, dst_x] = mask[src_y, src_x]
+    return out
+
+
+def block_match_shift(
+    previous_gray: np.ndarray,
+    current_gray: np.ndarray,
+    box: tuple[int, int, int, int],
+    search_radius: int = 10,
+    step: int = 2,
+) -> tuple[int, int]:
+    """(dy, dx) that best aligns the box patch from previous to current.
+
+    Coarse-to-fine SAD search: ``step``-strided sweep, then +-1 refine.
+    """
+    x0, y0, x1, y1 = box
+    h, w = previous_gray.shape
+    x0, y0 = max(x0, 0), max(y0, 0)
+    x1, y1 = min(x1, w), min(y1, h)
+    if x1 - x0 < 4 or y1 - y0 < 4:
+        return 0, 0
+    template = previous_gray[y0:y1, x0:x1]
+
+    def sad(dy: int, dx: int) -> float:
+        sy0, sy1 = y0 + dy, y1 + dy
+        sx0, sx1 = x0 + dx, x1 + dx
+        if sy0 < 0 or sx0 < 0 or sy1 > h or sx1 > w:
+            return np.inf
+        window = current_gray[sy0:sy1, sx0:sx1]
+        return float(np.mean(np.abs(window - template)))
+
+    best = (0, 0)
+    best_cost = sad(0, 0)
+    for dy in range(-search_radius, search_radius + 1, step):
+        for dx in range(-search_radius, search_radius + 1, step):
+            cost = sad(dy, dx)
+            if cost < best_cost:
+                best_cost = cost
+                best = (dy, dx)
+    # Refine around the coarse optimum.
+    base = best
+    for dy in range(base[0] - 1, base[0] + 2):
+        for dx in range(base[1] - 1, base[1] + 2):
+            cost = sad(dy, dx)
+            if cost < best_cost:
+                best_cost = cost
+                best = (dy, dx)
+    return best
+
+
+@dataclass
+class _TrackedMask:
+    mask: InstanceMask
+    box: tuple[int, int, int, int]
+
+
+class MotionVectorTracker:
+    """EAAR-style cached-result tracker: per-object block-matched shifts."""
+
+    def __init__(self, search_radius: int = 10):
+        self.search_radius = search_radius
+        self._tracked: dict[int, _TrackedMask] = {}
+        self._previous_gray: np.ndarray | None = None
+
+    def reset(self, masks: list[InstanceMask], gray: np.ndarray) -> None:
+        """Install fresh cached results (a new edge update)."""
+        self._tracked = {}
+        for mask in masks:
+            box = mask.box
+            if box is None:
+                continue
+            self._tracked[mask.instance_id] = _TrackedMask(mask.copy(), box)
+        self._previous_gray = np.asarray(gray, dtype=np.float32)
+
+    def update(self, gray: np.ndarray) -> list[InstanceMask]:
+        """Advance all cached masks to the new frame."""
+        gray = np.asarray(gray, dtype=np.float32)
+        if self._previous_gray is None:
+            return [t.mask for t in self._tracked.values()]
+        for tracked in self._tracked.values():
+            dy, dx = block_match_shift(
+                self._previous_gray, gray, tracked.box, self.search_radius
+            )
+            if dy or dx:
+                tracked.mask = InstanceMask(
+                    instance_id=tracked.mask.instance_id,
+                    class_label=tracked.mask.class_label,
+                    mask=shift_mask(tracked.mask.mask, dy, dx),
+                    score=tracked.mask.score,
+                )
+                new_box = tracked.mask.box
+                if new_box is not None:
+                    tracked.box = new_box
+        self._previous_gray = gray
+        return [t.mask for t in self._tracked.values()]
+
+    @property
+    def masks(self) -> list[InstanceMask]:
+        return [t.mask for t in self._tracked.values()]
+
+
+class MosseTracker:
+    """Minimal MOSSE correlation-filter tracker (the KCF stand-in).
+
+    One filter per object, trained on the grayscale patch under the mask's
+    box against a Gaussian response peak; each update locates the
+    correlation maximum and shifts the cached mask accordingly.
+    """
+
+    def __init__(self, learning_rate: float = 0.125, sigma: float = 2.0):
+        self.learning_rate = learning_rate
+        self.sigma = sigma
+        self._filters: dict[int, dict] = {}
+        self._masks: dict[int, InstanceMask] = {}
+
+    @staticmethod
+    def _preprocess(patch: np.ndarray) -> np.ndarray:
+        patch = np.log(patch.astype(np.float32) + 1.0)
+        patch = (patch - patch.mean()) / (patch.std() + 1e-5)
+        window = np.outer(
+            np.hanning(patch.shape[0]), np.hanning(patch.shape[1])
+        )
+        return patch * window
+
+    def _target_response(self, shape: tuple[int, int]) -> np.ndarray:
+        ys, xs = np.mgrid[0 : shape[0], 0 : shape[1]]
+        cy, cx = shape[0] // 2, shape[1] // 2
+        response = np.exp(
+            -((ys - cy) ** 2 + (xs - cx) ** 2) / (2.0 * self.sigma**2)
+        )
+        return np.fft.fft2(response)
+
+    def reset(self, masks: list[InstanceMask], gray: np.ndarray) -> None:
+        gray = np.asarray(gray, dtype=np.float32)
+        self._filters = {}
+        self._masks = {}
+        for mask in masks:
+            box = mask.box
+            if box is None:
+                continue
+            x0, y0, x1, y1 = box
+            patch = gray[y0:y1, x0:x1]
+            if patch.shape[0] < 8 or patch.shape[1] < 8:
+                continue
+            processed = self._preprocess(patch)
+            forward = np.fft.fft2(processed)
+            target = self._target_response(patch.shape)
+            self._filters[mask.instance_id] = {
+                "numerator": target * np.conj(forward),
+                "denominator": forward * np.conj(forward) + 1e-2,
+                "box": box,
+            }
+            self._masks[mask.instance_id] = mask.copy()
+
+    def update(self, gray: np.ndarray) -> list[InstanceMask]:
+        gray = np.asarray(gray, dtype=np.float32)
+        h, w = gray.shape
+        for instance_id, state in self._filters.items():
+            x0, y0, x1, y1 = state["box"]
+            x0, y0 = max(x0, 0), max(y0, 0)
+            x1, y1 = min(x1, w), min(y1, h)
+            patch = gray[y0:y1, x0:x1]
+            expected = (
+                state["numerator"].shape
+                if hasattr(state["numerator"], "shape")
+                else None
+            )
+            if patch.shape != expected:
+                continue
+            processed = self._preprocess(patch)
+            forward = np.fft.fft2(processed)
+            correlation_filter = state["numerator"] / state["denominator"]
+            response = np.real(np.fft.ifft2(correlation_filter * forward))
+            peak = np.unravel_index(np.argmax(response), response.shape)
+            cy, cx = patch.shape[0] // 2, patch.shape[1] // 2
+            dy = int((peak[0] - cy + patch.shape[0] // 2) % patch.shape[0] - patch.shape[0] // 2)
+            dx = int((peak[1] - cx + patch.shape[1] // 2) % patch.shape[1] - patch.shape[1] // 2)
+            if dy or dx:
+                mask = self._masks[instance_id]
+                self._masks[instance_id] = InstanceMask(
+                    instance_id=mask.instance_id,
+                    class_label=mask.class_label,
+                    mask=shift_mask(mask.mask, dy, dx),
+                    score=mask.score,
+                )
+                state["box"] = (x0 + dx, y0 + dy, x1 + dx, y1 + dy)
+            # Online filter adaptation at the new location.
+            bx0, by0, bx1, by1 = state["box"]
+            if bx0 >= 0 and by0 >= 0 and bx1 <= w and by1 <= h:
+                patch = gray[by0:by1, bx0:bx1]
+                if patch.shape == processed.shape:
+                    processed = self._preprocess(patch)
+                    forward = np.fft.fft2(processed)
+                    target = self._target_response(patch.shape)
+                    rate = self.learning_rate
+                    state["numerator"] = (
+                        (1 - rate) * state["numerator"]
+                        + rate * target * np.conj(forward)
+                    )
+                    state["denominator"] = (
+                        (1 - rate) * state["denominator"]
+                        + rate * (forward * np.conj(forward) + 1e-2)
+                    )
+        return list(self._masks.values())
+
+    @property
+    def masks(self) -> list[InstanceMask]:
+        return list(self._masks.values())

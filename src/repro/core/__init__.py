@@ -1,0 +1,6 @@
+"""The edgeIS system: configuration and the full mobile client."""
+
+from .config import MobileTimingModel, SystemConfig
+from .system import EdgeISSystem
+
+__all__ = ["MobileTimingModel", "SystemConfig", "EdgeISSystem"]

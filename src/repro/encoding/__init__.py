@@ -1,0 +1,26 @@
+"""Tile-based frame encoding and content-based fine-grained RoI selection
+(CFRS, paper Section V)."""
+
+from .tiles import (
+    QUALITY_FIDELITY,
+    EncodedFrame,
+    TileGrid,
+    TileQuality,
+    encode_frame,
+)
+from .cfrs import CFRSConfig, ContentRoiSelector, OffloadDecision
+from .mask_codec import decode_masks, encode_masks, encoded_size_bytes
+
+__all__ = [
+    "QUALITY_FIDELITY",
+    "EncodedFrame",
+    "TileGrid",
+    "TileQuality",
+    "encode_frame",
+    "CFRSConfig",
+    "ContentRoiSelector",
+    "OffloadDecision",
+    "decode_masks",
+    "encode_masks",
+    "encoded_size_bytes",
+]

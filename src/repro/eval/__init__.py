@@ -1,0 +1,33 @@
+"""Experiment harness, reporting helpers and the oil-field case study."""
+
+from .experiments import (
+    ABLATION_NAMES,
+    SYSTEM_NAMES,
+    ExperimentOutcome,
+    ExperimentSpec,
+    build_client,
+    run_experiment,
+    run_grid,
+)
+from .reporting import Table, format_cdf, save_json
+from .field_study import FieldDevice, FieldStudyResult, run_field_study
+from .trajectory_metrics import TrajectoryErrors, evaluate_trajectory, umeyama_alignment
+
+__all__ = [
+    "ABLATION_NAMES",
+    "SYSTEM_NAMES",
+    "ExperimentOutcome",
+    "ExperimentSpec",
+    "build_client",
+    "run_experiment",
+    "run_grid",
+    "Table",
+    "format_cdf",
+    "save_json",
+    "FieldDevice",
+    "FieldStudyResult",
+    "run_field_study",
+    "TrajectoryErrors",
+    "evaluate_trajectory",
+    "umeyama_alignment",
+]

@@ -1,0 +1,150 @@
+"""Command-line interface for running experiments.
+
+Examples::
+
+    python -m repro.eval.cli run --system edgeis --dataset kitti_like \
+        --network wifi_2.4ghz --frames 200 --json results/kitti.json
+    python -m repro.eval.cli compare --dataset xiph_like
+    python -m repro.eval.cli list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..network.channel import CHANNELS
+from ..synthetic.datasets import COMPLEXITY_LEVELS, DATASET_NAMES
+from .experiments import ABLATION_NAMES, SYSTEM_NAMES, ExperimentSpec, run_experiment
+from .reporting import Table, format_cdf, save_json
+
+__all__ = ["main"]
+
+
+def _spec_from_args(args, system: str | None = None) -> ExperimentSpec:
+    return ExperimentSpec(
+        system=system or args.system,
+        dataset=args.dataset,
+        network=args.network,
+        num_frames=args.frames,
+        motion_grade=args.motion,
+        seed=args.seed,
+        server_device=args.server,
+        monitor_resources=getattr(args, "resources", False),
+    )
+
+
+def _result_payload(result) -> dict:
+    return {
+        "system": result.system,
+        "mean_iou": result.mean_iou(),
+        "false_rate_75": result.false_rate(0.75),
+        "false_rate_50": result.false_rate(0.5),
+        "mean_latency_ms": result.mean_latency_ms(),
+        "offload_count": result.offload_count,
+        "bytes_up": result.bytes_up,
+        "bytes_down": result.bytes_down,
+        "server_utilization": result.server_utilization(),
+        "iou_cdf": format_cdf(result.per_object_ious()),
+    }
+
+
+def _cmd_run(args) -> int:
+    spec = _spec_from_args(args)
+    outcome = run_experiment(spec)
+    result = outcome.result
+    table = Table(
+        f"{spec.system} on {spec.dataset} over {spec.network}",
+        ["metric", "value"],
+    )
+    payload = _result_payload(result)
+    for key in (
+        "mean_iou",
+        "false_rate_75",
+        "false_rate_50",
+        "mean_latency_ms",
+        "offload_count",
+        "server_utilization",
+    ):
+        table.add_row(key, payload[key])
+    table.print()
+    if args.json:
+        save_json(args.json, payload)
+        print(f"saved {args.json}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    table = Table(
+        f"comparison on {args.dataset} over {args.network}",
+        ["system", "mean IoU", "false@0.75", "latency ms"],
+    )
+    payloads = {}
+    for system in SYSTEM_NAMES:
+        result = run_experiment(_spec_from_args(args, system=system)).result
+        payload = _result_payload(result)
+        payloads[system] = payload
+        table.add_row(
+            system,
+            payload["mean_iou"],
+            payload["false_rate_75"],
+            payload["mean_latency_ms"],
+        )
+    table.print()
+    if args.json:
+        save_json(args.json, payloads)
+        print(f"saved {args.json}")
+    return 0
+
+
+def _cmd_list(args) -> int:
+    print("systems:   ", ", ".join(SYSTEM_NAMES))
+    print("ablations: ", ", ".join(ABLATION_NAMES))
+    print("datasets:  ", ", ".join(DATASET_NAMES))
+    print("complexity:", ", ".join(COMPLEXITY_LEVELS))
+    print("networks:  ", ", ".join(sorted(CHANNELS)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.eval.cli", description="edgeIS experiment runner"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub):
+        sub.add_argument("--dataset", default="xiph_like", choices=DATASET_NAMES)
+        sub.add_argument("--network", default="wifi_5ghz", choices=sorted(CHANNELS))
+        sub.add_argument("--frames", type=int, default=150)
+        sub.add_argument("--motion", default="walk", choices=("walk", "stride", "jog"))
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--server", default="jetson_tx2", choices=("jetson_tx2", "jetson_xavier", "titan_v")
+        )
+        sub.add_argument("--json", default=None, help="save metrics to this path")
+
+    run_parser = subparsers.add_parser("run", help="run one system")
+    run_parser.add_argument(
+        "--system", default="edgeis", choices=SYSTEM_NAMES + ABLATION_NAMES
+    )
+    run_parser.add_argument("--resources", action="store_true")
+    add_common(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    compare_parser = subparsers.add_parser("compare", help="run all systems")
+    add_common(compare_parser)
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    list_parser = subparsers.add_parser("list", help="list available names")
+    list_parser.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

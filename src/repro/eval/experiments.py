@@ -1,0 +1,164 @@
+"""Experiment harness: build clients, run (system x dataset x network)
+grids and aggregate the metrics every figure reproduces.
+
+Every benchmark under ``benchmarks/`` is a thin wrapper over this module,
+so the same machinery is importable for ad-hoc studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.systems import (
+    BestEffortEdgeClient,
+    EAARClient,
+    EdgeDuetClient,
+    MobileOnlyClient,
+)
+from ..core.config import SystemConfig
+from ..core.system import EdgeISSystem
+from ..model.maskrcnn import SimulatedSegmentationModel
+from ..network.channel import make_channel
+from ..runtime.pipeline import EdgeServer, Pipeline, RunResult
+from ..runtime.resources import DEVICE_POWER, ResourceMonitor
+from ..synthetic.datasets import make_complexity_scene, make_dataset
+from ..synthetic.world import SyntheticVideo
+
+__all__ = [
+    "SYSTEM_NAMES",
+    "ABLATION_NAMES",
+    "ExperimentSpec",
+    "build_client",
+    "run_experiment",
+    "run_grid",
+]
+
+SYSTEM_NAMES = (
+    "edgeis",
+    "eaar",
+    "edgeduet",
+    "edge_best_effort",
+    "mobile_only",
+)
+
+# Fig. 16 variants: the baseline plus each module individually.
+ABLATION_NAMES = (
+    "baseline",
+    "baseline+cfrs",
+    "baseline+ciia",
+    "baseline+mamt",
+    "edgeis",
+)
+
+
+def build_client(name: str, video: SyntheticVideo, seed: int = 0):
+    """Instantiate a client system by name for the given video."""
+    shape = (video.camera.height, video.camera.width)
+    if name == "edgeis" or name.startswith("baseline"):
+        config = SystemConfig(seed=seed)
+        if name != "edgeis":
+            config.use_mamt = "mamt" in name
+            config.use_ciia = "ciia" in name
+            config.use_cfrs = "cfrs" in name
+        return EdgeISSystem(video.camera, shape, config=config, world=video.world)
+    if name == "eaar":
+        return EAARClient(shape, np.random.default_rng(seed + 100))
+    if name == "edgeduet":
+        return EdgeDuetClient(shape, np.random.default_rng(seed + 200))
+    if name == "edge_best_effort":
+        return BestEffortEdgeClient(shape, np.random.default_rng(seed + 300))
+    if name == "mobile_only":
+        return MobileOnlyClient(np.random.default_rng(seed + 400))
+    raise ValueError(f"unknown system {name!r}")
+
+
+@dataclass
+class ExperimentSpec:
+    """One cell of an experiment grid."""
+
+    system: str
+    dataset: str = "xiph_like"
+    network: str = "wifi_5ghz"
+    num_frames: int = 180
+    resolution: tuple[int, int] = (320, 240)
+    motion_grade: str = "walk"
+    complexity: str | None = None  # use make_complexity_scene instead
+    dynamic: bool | None = None
+    server_device: str = "jetson_tx2"
+    warmup_frames: int = 45
+    seed: int = 0
+    monitor_resources: bool = False
+    power_device: str = "iphone_11"
+
+
+@dataclass
+class ExperimentOutcome:
+    spec: ExperimentSpec
+    result: RunResult
+    resources: ResourceMonitor | None = None
+    client: object | None = None
+
+
+def _make_video(spec: ExperimentSpec) -> SyntheticVideo:
+    if spec.complexity is not None:
+        return make_complexity_scene(
+            spec.complexity,
+            num_frames=spec.num_frames,
+            resolution=spec.resolution,
+            seed=spec.seed,
+        )
+    return make_dataset(
+        spec.dataset,
+        num_frames=spec.num_frames,
+        resolution=spec.resolution,
+        motion_grade=spec.motion_grade,
+        dynamic=spec.dynamic,
+        seed=spec.seed,
+    )
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentOutcome:
+    """Run one pipeline configuration end to end."""
+    video = _make_video(spec)
+    client = build_client(spec.system, video, seed=spec.seed)
+    channel = make_channel(spec.network, np.random.default_rng(spec.seed + 17))
+    server = EdgeServer(
+        SimulatedSegmentationModel(
+            "mask_rcnn_r101", spec.server_device, np.random.default_rng(spec.seed + 29)
+        )
+    )
+    pipeline = Pipeline(video, client, channel, server, warmup_frames=spec.warmup_frames)
+
+    monitor = None
+    if spec.monitor_resources:
+        monitor = ResourceMonitor(DEVICE_POWER[spec.power_device], fps=video.fps)
+        result = _run_with_monitor(pipeline, monitor, client, channel)
+    else:
+        result = pipeline.run()
+    return ExperimentOutcome(spec=spec, result=result, resources=monitor, client=client)
+
+
+def _run_with_monitor(pipeline: Pipeline, monitor: ResourceMonitor, client, channel):
+    """Run a pipeline while sampling per-frame resource usage."""
+    original_process = client.process_frame
+    bytes_before = {"up": 0}
+
+    def wrapped(frame, truth, now_ms):
+        output = original_process(frame, truth, now_ms)
+        sent = channel.bytes_up - bytes_before["up"]
+        bytes_before["up"] = channel.bytes_up
+        monitor.sample(frame.index, output.compute_ms, client.memory_bytes(), sent)
+        return output
+
+    client.process_frame = wrapped
+    try:
+        return pipeline.run()
+    finally:
+        client.process_frame = original_process
+
+
+def run_grid(specs: list[ExperimentSpec]) -> list[ExperimentOutcome]:
+    """Run a list of experiment cells sequentially."""
+    return [run_experiment(spec) for spec in specs]

@@ -1,0 +1,80 @@
+"""Plain-text reporting helpers shared by the benchmark scripts.
+
+Each benchmark prints the same rows/series its paper figure shows; these
+helpers keep the formatting uniform and provide JSON export so results can
+be archived alongside EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["Table", "format_cdf", "save_json"]
+
+
+@dataclass
+class Table:
+    """A small fixed-width text table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        def fmt(value) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in cells))
+            if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+        print()
+
+    def as_dict(self) -> dict:
+        return {"title": self.title, "columns": self.columns, "rows": self.rows}
+
+
+def format_cdf(
+    ious: np.ndarray, points: tuple[float, ...] = (0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.95)
+) -> dict[float, float]:
+    """P[IoU <= x] at the given x values — the series Fig. 9 plots."""
+    ious = np.asarray(ious)
+    if len(ious) == 0:
+        return {p: 0.0 for p in points}
+    return {p: float((ious <= p).mean()) for p in points}
+
+
+def save_json(path: str | Path, payload: dict) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    def default(obj):
+        if isinstance(obj, (np.floating, np.integer)):
+            return obj.item()
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        raise TypeError(f"not JSON serializable: {type(obj)}")
+
+    path.write_text(json.dumps(payload, indent=2, default=default))

@@ -1,0 +1,125 @@
+"""Trajectory error metrics for the VO substrate.
+
+Standard SLAM-benchmark metrics (TUM-RGBD style), used to qualify the
+visual odometry independently of the segmentation task:
+
+* **ATE** — absolute trajectory error after aligning the estimated
+  trajectory to ground truth with the best similarity transform
+  (Umeyama alignment, which also resolves the monocular scale).
+* **RPE** — relative pose error over a fixed frame delta, reported for
+  translation (in ground-truth units) and rotation (degrees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.se3 import SE3
+
+__all__ = ["umeyama_alignment", "TrajectoryErrors", "evaluate_trajectory"]
+
+
+def umeyama_alignment(
+    source: np.ndarray, target: np.ndarray, with_scale: bool = True
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Least-squares similarity transform mapping source -> target.
+
+    Returns ``(scale, rotation, translation)`` minimizing
+    ``|| target - (scale * R @ source + t) ||^2`` (Umeyama 1991).
+    """
+    source = np.asarray(source, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if source.shape != target.shape or source.ndim != 2 or source.shape[1] != 3:
+        raise ValueError("umeyama_alignment expects matching (N, 3) arrays")
+    if len(source) < 3:
+        raise ValueError("umeyama_alignment needs >= 3 points")
+
+    mean_source = source.mean(axis=0)
+    mean_target = target.mean(axis=0)
+    centered_source = source - mean_source
+    centered_target = target - mean_target
+
+    covariance = centered_target.T @ centered_source / len(source)
+    u, singular, vt = np.linalg.svd(covariance)
+    sign_fix = np.eye(3)
+    if np.linalg.det(u) * np.linalg.det(vt) < 0:
+        sign_fix[2, 2] = -1.0
+    rotation = u @ sign_fix @ vt
+
+    if with_scale:
+        variance_source = np.mean(np.sum(centered_source**2, axis=1))
+        scale = float(np.trace(np.diag(singular) @ sign_fix) / max(variance_source, 1e-12))
+    else:
+        scale = 1.0
+    translation = mean_target - scale * rotation @ mean_source
+    return scale, rotation, translation
+
+
+@dataclass
+class TrajectoryErrors:
+    """Summary of ATE/RPE for one run."""
+
+    ate_rmse: float
+    ate_median: float
+    rpe_translation_median: float
+    rpe_rotation_deg_median: float
+    scale: float
+    num_poses: int
+
+
+def evaluate_trajectory(
+    estimated_poses_cw: list[SE3 | None],
+    true_poses_cw: list[SE3],
+    rpe_delta: int = 1,
+) -> TrajectoryErrors:
+    """Compare an estimated camera trajectory against ground truth.
+
+    ``estimated_poses_cw`` may contain None for untracked frames; those
+    are skipped in both metrics.
+    """
+    if len(estimated_poses_cw) != len(true_poses_cw):
+        raise ValueError("trajectory lengths differ")
+    valid = [
+        i for i, pose in enumerate(estimated_poses_cw) if pose is not None
+    ]
+    if len(valid) < 3:
+        raise ValueError("need >= 3 tracked poses to evaluate")
+
+    estimated_centers = np.array([estimated_poses_cw[i].center for i in valid])
+    true_centers = np.array([true_poses_cw[i].center for i in valid])
+    scale, rotation, translation = umeyama_alignment(estimated_centers, true_centers)
+    aligned = (scale * (rotation @ estimated_centers.T)).T + translation
+    ate = np.linalg.norm(aligned - true_centers, axis=1)
+
+    rpe_translation = []
+    rpe_rotation = []
+    valid_set = set(valid)
+    for i in valid:
+        j = i + rpe_delta
+        if j not in valid_set:
+            continue
+        est_rel = estimated_poses_cw[j] @ estimated_poses_cw[i].inverse()
+        true_rel = true_poses_cw[j] @ true_poses_cw[i].inverse()
+        rpe_rotation.append(np.degrees(est_rel.rotation_angle_to(true_rel)))
+        rpe_translation.append(
+            float(
+                np.linalg.norm(
+                    scale * est_rel.translation - true_rel.translation
+                )
+            )
+        )
+
+    return TrajectoryErrors(
+        ate_rmse=float(np.sqrt(np.mean(ate**2))),
+        ate_median=float(np.median(ate)),
+        rpe_translation_median=(
+            float(np.median(rpe_translation)) if rpe_translation else float("nan")
+        ),
+        rpe_rotation_deg_median=(
+            float(np.median(rpe_rotation)) if rpe_rotation else float("nan")
+        ),
+        scale=scale,
+        num_poses=len(valid),
+    )

@@ -1,0 +1,22 @@
+"""Feature substrate: FAST corners, rotated-BRIEF descriptors, brute-force
+Hamming matching and the paper's mask-aware feature selection."""
+
+from .fast import Keypoint, corner_score_map, fast_corners, grid_select
+from .brief import BriefDescriptorExtractor, hamming_distance
+from .matcher import Match, match_descriptors
+from .orb import FeatureSet, OrbFeatureExtractor, local_sharpness, select_features
+
+__all__ = [
+    "Keypoint",
+    "corner_score_map",
+    "fast_corners",
+    "grid_select",
+    "BriefDescriptorExtractor",
+    "hamming_distance",
+    "Match",
+    "match_descriptors",
+    "FeatureSet",
+    "OrbFeatureExtractor",
+    "local_sharpness",
+    "select_features",
+]

@@ -1,0 +1,177 @@
+"""FAST corner detection (Features from Accelerated Segment Test).
+
+ORB — the feature the paper uses "for its efficiency in computing and
+robustness against the change of viewpoints" (Section III-A) — is FAST
+keypoints plus rotated BRIEF descriptors.  This module implements the
+FAST-9 segment test and corner score fully vectorized in numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Keypoint", "fast_corners", "corner_score_map", "grid_select"]
+
+# Bresenham circle of radius 3: 16 (row, col) offsets in order.
+_CIRCLE = np.array(
+    [
+        (-3, 0), (-3, 1), (-2, 2), (-1, 3),
+        (0, 3), (1, 3), (2, 2), (3, 1),
+        (3, 0), (3, -1), (2, -2), (1, -3),
+        (0, -3), (-1, -3), (-2, -2), (-3, -1),
+    ]
+)
+
+
+@dataclass
+class Keypoint:
+    """A detected interest point.
+
+    ``row``/``col`` are pixel coordinates; ``score`` is the FAST corner
+    response used for non-maximal suppression and grid selection;
+    ``angle`` is the intensity-centroid orientation (radians) used by
+    rotated BRIEF.
+    """
+
+    row: float
+    col: float
+    score: float
+    angle: float = 0.0
+    octave: int = 0  # pyramid level the keypoint was detected at
+
+    @property
+    def pt(self) -> np.ndarray:
+        """(u, v) = (col, row) pixel coordinates, matching camera order."""
+        return np.array([self.col, self.row], dtype=float)
+
+
+def _circle_stack(gray: np.ndarray) -> np.ndarray:
+    """Stack of the 16 circle-shifted images, cropped to the valid region.
+
+    Output shape: (16, H-6, W-6) aligned so index [k, r, c] is the k-th
+    circle pixel around center (r+3, c+3).
+    """
+    height, width = gray.shape
+    inner_h, inner_w = height - 6, width - 6
+    stack = np.empty((16, inner_h, inner_w), dtype=gray.dtype)
+    for k, (dr, dc) in enumerate(_CIRCLE):
+        stack[k] = gray[3 + dr : 3 + dr + inner_h, 3 + dc : 3 + dc + inner_w]
+    return stack
+
+
+def _max_consecutive_true(flags: np.ndarray) -> np.ndarray:
+    """Longest circular run of True along axis 0 of a (16, ...) stack."""
+    doubled = np.concatenate([flags, flags], axis=0).astype(np.int8)
+    best = np.zeros(flags.shape[1:], dtype=np.int8)
+    run = np.zeros(flags.shape[1:], dtype=np.int8)
+    for k in range(doubled.shape[0]):
+        run = (run + 1) * doubled[k]
+        best = np.maximum(best, run)
+    return np.minimum(best, 16)
+
+
+def corner_score_map(
+    gray: np.ndarray, threshold: float = 20.0, arc_length: int = 9
+) -> np.ndarray:
+    """FAST corner response for every pixel (0 where not a corner).
+
+    A pixel passes if ``arc_length`` contiguous circle pixels are all
+    brighter than center+threshold or all darker than center-threshold.
+    The score is the sum of absolute differences over the circle, the
+    usual ranking for non-maximal suppression.
+    """
+    gray = np.asarray(gray, dtype=np.float32)
+    if gray.ndim != 2:
+        raise ValueError("corner_score_map expects a grayscale image")
+    if gray.shape[0] < 7 or gray.shape[1] < 7:
+        return np.zeros_like(gray)
+    center = gray[3:-3, 3:-3]
+    stack = _circle_stack(gray)
+
+    brighter = stack > center[None] + threshold
+    darker = stack < center[None] - threshold
+    is_corner = (_max_consecutive_true(brighter) >= arc_length) | (
+        _max_consecutive_true(darker) >= arc_length
+    )
+
+    diffs = np.abs(stack - center[None]) - threshold
+    score_inner = np.where(is_corner, np.sum(np.maximum(diffs, 0.0), axis=0), 0.0)
+
+    scores = np.zeros_like(gray)
+    scores[3:-3, 3:-3] = score_inner
+    return scores
+
+
+def _orientation(gray: np.ndarray, row: int, col: int, patch_radius: int = 7) -> float:
+    """Intensity-centroid orientation (the 'O' of ORB)."""
+    r0 = max(row - patch_radius, 0)
+    r1 = min(row + patch_radius + 1, gray.shape[0])
+    c0 = max(col - patch_radius, 0)
+    c1 = min(col + patch_radius + 1, gray.shape[1])
+    patch = gray[r0:r1, c0:c1]
+    rr, cc = np.mgrid[r0:r1, c0:c1]
+    total = patch.sum()
+    if total < 1e-6:
+        return 0.0
+    m10 = float(np.sum((cc - col) * patch))
+    m01 = float(np.sum((rr - row) * patch))
+    return float(np.arctan2(m01, m10))
+
+
+def fast_corners(
+    gray: np.ndarray,
+    threshold: float = 20.0,
+    nonmax_radius: int = 3,
+    max_keypoints: int | None = None,
+    compute_orientation: bool = True,
+) -> list[Keypoint]:
+    """Detect FAST-9 corners with non-maximal suppression.
+
+    Returns keypoints sorted by descending score, truncated to
+    ``max_keypoints`` if given.
+    """
+    gray = np.asarray(gray, dtype=np.float32)
+    scores = corner_score_map(gray, threshold=threshold)
+    if not scores.any():
+        return []
+    from scipy import ndimage
+
+    footprint = np.ones((2 * nonmax_radius + 1, 2 * nonmax_radius + 1), dtype=bool)
+    local_max = ndimage.maximum_filter(scores, footprint=footprint)
+    peaks = (scores > 0) & (scores >= local_max)
+    rows, cols = np.nonzero(peaks)
+    order = np.argsort(-scores[rows, cols])
+    if max_keypoints is not None:
+        order = order[:max_keypoints]
+    keypoints = []
+    for idx in order:
+        r, c = int(rows[idx]), int(cols[idx])
+        angle = _orientation(gray, r, c) if compute_orientation else 0.0
+        keypoints.append(Keypoint(row=r, col=c, score=float(scores[r, c]), angle=angle))
+    return keypoints
+
+
+def grid_select(
+    keypoints: list[Keypoint],
+    shape: tuple[int, int],
+    cell: int = 32,
+    per_cell: int = 4,
+) -> list[Keypoint]:
+    """Keep the strongest ``per_cell`` keypoints per grid cell.
+
+    ORB-SLAM spreads features over the image the same way; without it the
+    tracker starves in low-texture regions while wasting budget on busy
+    ones.
+    """
+    buckets: dict[tuple[int, int], list[Keypoint]] = {}
+    for keypoint in keypoints:
+        key = (int(keypoint.row) // cell, int(keypoint.col) // cell)
+        buckets.setdefault(key, []).append(keypoint)
+    selected: list[Keypoint] = []
+    for bucket in buckets.values():
+        bucket.sort(key=lambda k: -k.score)
+        selected.extend(bucket[:per_cell])
+    selected.sort(key=lambda k: -k.score)
+    return selected

@@ -1,0 +1,39 @@
+"""Camera geometry substrate: SE(3), pinhole projection, epipolar two-view
+initialization, triangulation and motion-only bundle adjustment (PnP)."""
+
+from .se3 import SE3, skew, so3_exp, so3_log
+from .camera import PinholeCamera
+from .epipolar import (
+    TwoViewGeometry,
+    decompose_essential,
+    eight_point_fundamental,
+    essential_from_fundamental,
+    fundamental_ransac,
+    recover_relative_pose,
+    sampson_distance,
+)
+from .triangulation import reprojection_errors, triangulate_dlt, triangulate_midpoint
+from .bundle_adjustment import MIN_PNP_POINTS, PnPResult, dlt_pose, refine_pose, solve_pnp
+
+__all__ = [
+    "SE3",
+    "skew",
+    "so3_exp",
+    "so3_log",
+    "PinholeCamera",
+    "TwoViewGeometry",
+    "decompose_essential",
+    "eight_point_fundamental",
+    "essential_from_fundamental",
+    "fundamental_ransac",
+    "recover_relative_pose",
+    "sampson_distance",
+    "reprojection_errors",
+    "triangulate_dlt",
+    "triangulate_midpoint",
+    "MIN_PNP_POINTS",
+    "PnPResult",
+    "dlt_pose",
+    "refine_pose",
+    "solve_pnp",
+]

@@ -1,0 +1,150 @@
+"""Pinhole camera model.
+
+The intrinsic matrix ``K`` of the paper (Eq. 2-5) is represented by
+:class:`PinholeCamera`, which projects 3-D points expressed in the *camera*
+frame into pixels and back-projects pixels with known depth into rays.
+
+Pixel convention: ``u`` is the column (x, rightward) and ``v`` is the row
+(y, downward), with the origin at the top-left corner of the image, matching
+OpenCV — the library whose role :mod:`repro.image` fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .se3 import SE3
+
+__all__ = ["PinholeCamera"]
+
+
+@dataclass(frozen=True)
+class PinholeCamera:
+    """Intrinsics of a pinhole camera.
+
+    Parameters
+    ----------
+    fx, fy:
+        Focal lengths in pixels.
+    cx, cy:
+        Principal point in pixels.
+    width, height:
+        Image size in pixels; used by visibility checks.
+    """
+
+    fx: float
+    fy: float
+    cx: float
+    cy: float
+    width: int
+    height: int
+
+    @staticmethod
+    def with_fov(width: int, height: int, horizontal_fov_deg: float = 64.0) -> "PinholeCamera":
+        """Build intrinsics from image size and a horizontal field of view.
+
+        64 degrees is typical of the phone cameras (iPhone 11, Galaxy S10)
+        used in the paper's experiments.
+        """
+        fov = np.deg2rad(horizontal_fov_deg)
+        fx = (width / 2.0) / np.tan(fov / 2.0)
+        return PinholeCamera(
+            fx=fx, fy=fx, cx=width / 2.0, cy=height / 2.0, width=width, height=height
+        )
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The 3x3 intrinsic matrix ``K``."""
+        return np.array(
+            [
+                [self.fx, 0.0, self.cx],
+                [0.0, self.fy, self.cy],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+
+    @property
+    def matrix_inverse(self) -> np.ndarray:
+        return np.array(
+            [
+                [1.0 / self.fx, 0.0, -self.cx / self.fx],
+                [0.0, 1.0 / self.fy, -self.cy / self.fy],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Projection
+    # ------------------------------------------------------------------
+    def project(self, points_camera: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Project camera-frame points to pixels.
+
+        Parameters
+        ----------
+        points_camera:
+            Array of shape (N, 3) or (3,) in the camera frame.
+
+        Returns
+        -------
+        pixels:
+            (N, 2) array of (u, v) pixel coordinates.
+        depths:
+            (N,) array of z depths; points with non-positive depth are
+            behind the camera and their pixel values are meaningless.
+        """
+        pts = np.atleast_2d(np.asarray(points_camera, dtype=float))
+        depths = pts[:, 2]
+        safe = np.where(np.abs(depths) < 1e-12, 1e-12, depths)
+        u = self.fx * pts[:, 0] / safe + self.cx
+        v = self.fy * pts[:, 1] / safe + self.cy
+        return np.stack([u, v], axis=1), depths
+
+    def project_world(
+        self, pose_cw: SE3, points_world: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Project world points through a camera-from-world pose.
+
+        This is the projection function ``pi(T_cw, P)`` of Eq. (5).
+        """
+        return self.project(pose_cw.transform(points_world))
+
+    def backproject(self, pixels: np.ndarray, depths: np.ndarray) -> np.ndarray:
+        """Lift pixels with known depth into camera-frame 3-D points."""
+        pix = np.atleast_2d(np.asarray(pixels, dtype=float))
+        depth_arr = np.atleast_1d(np.asarray(depths, dtype=float))
+        x = (pix[:, 0] - self.cx) / self.fx * depth_arr
+        y = (pix[:, 1] - self.cy) / self.fy * depth_arr
+        return np.stack([x, y, depth_arr], axis=1)
+
+    def normalize(self, pixels: np.ndarray) -> np.ndarray:
+        """Map pixels to normalized image coordinates (z=1 plane)."""
+        pix = np.atleast_2d(np.asarray(pixels, dtype=float))
+        x = (pix[:, 0] - self.cx) / self.fx
+        y = (pix[:, 1] - self.cy) / self.fy
+        return np.stack([x, y], axis=1)
+
+    # ------------------------------------------------------------------
+    # Visibility
+    # ------------------------------------------------------------------
+    def in_view(
+        self, pixels: np.ndarray, depths: np.ndarray, margin: float = 0.0
+    ) -> np.ndarray:
+        """Boolean mask of projections that land inside the image."""
+        pix = np.atleast_2d(np.asarray(pixels, dtype=float))
+        depth_arr = np.atleast_1d(np.asarray(depths, dtype=float))
+        return (
+            (depth_arr > 1e-9)
+            & (pix[:, 0] >= -margin)
+            & (pix[:, 0] < self.width + margin)
+            & (pix[:, 1] >= -margin)
+            & (pix[:, 1] < self.height + margin)
+        )
+
+    def visible_world_points(
+        self, pose_cw: SE3, points_world: np.ndarray, margin: float = 0.0
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project world points and return (pixels, depths, visibility mask)."""
+        pixels, depths = self.project_world(pose_cw, points_world)
+        return pixels, depths, self.in_view(pixels, depths, margin=margin)

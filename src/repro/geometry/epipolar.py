@@ -1,0 +1,253 @@
+"""Two-view epipolar geometry.
+
+Implements the initialization math of Section III-A: the normalized 8-point
+algorithm for the fundamental matrix (Eq. 1), its RANSAC wrapper, the
+essential-matrix relation ``E = K^T F K`` (Eq. 2) and the decomposition of
+``E`` into the relative pose ``(R_10, t_10)`` with the cheirality check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .camera import PinholeCamera
+from .se3 import SE3
+from .triangulation import triangulate_midpoint
+
+__all__ = [
+    "eight_point_fundamental",
+    "fundamental_ransac",
+    "essential_from_fundamental",
+    "decompose_essential",
+    "recover_relative_pose",
+    "sampson_distance",
+    "TwoViewGeometry",
+]
+
+
+def _normalize_points(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Hartley normalization: zero-mean, mean distance sqrt(2)."""
+    centroid = points.mean(axis=0)
+    shifted = points - centroid
+    mean_dist = np.mean(np.linalg.norm(shifted, axis=1))
+    scale = np.sqrt(2.0) / max(mean_dist, 1e-12)
+    transform = np.array(
+        [
+            [scale, 0.0, -scale * centroid[0]],
+            [0.0, scale, -scale * centroid[1]],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+    homogeneous = np.column_stack([points, np.ones(len(points))])
+    return (homogeneous @ transform.T), transform
+
+
+def eight_point_fundamental(points0: np.ndarray, points1: np.ndarray) -> np.ndarray:
+    """Normalized 8-point estimate of F with ``p1^T F p0 = 0`` (Eq. 1).
+
+    Parameters
+    ----------
+    points0, points1:
+        Matched pixel coordinates, shape (N, 2), N >= 8.
+    """
+    points0 = np.asarray(points0, dtype=float)
+    points1 = np.asarray(points1, dtype=float)
+    if len(points0) < 8 or len(points0) != len(points1):
+        raise ValueError("eight_point_fundamental needs >= 8 matched pairs")
+    norm0, transform0 = _normalize_points(points0)
+    norm1, transform1 = _normalize_points(points1)
+    # Each match contributes one row of the linear system A f = 0.
+    a_matrix = np.column_stack(
+        [
+            norm1[:, 0] * norm0[:, 0],
+            norm1[:, 0] * norm0[:, 1],
+            norm1[:, 0],
+            norm1[:, 1] * norm0[:, 0],
+            norm1[:, 1] * norm0[:, 1],
+            norm1[:, 1],
+            norm0[:, 0],
+            norm0[:, 1],
+            np.ones(len(norm0)),
+        ]
+    )
+    _, _, vt = np.linalg.svd(a_matrix)
+    fundamental = vt[-1].reshape(3, 3)
+    # Enforce the rank-2 constraint.
+    u, singular, vt_f = np.linalg.svd(fundamental)
+    singular = singular.copy()
+    singular[2] = 0.0
+    fundamental = u @ np.diag(singular) @ vt_f
+    fundamental = transform1.T @ fundamental @ transform0
+    norm = np.linalg.norm(fundamental)
+    return fundamental / max(norm, 1e-12)
+
+
+def sampson_distance(
+    fundamental: np.ndarray, points0: np.ndarray, points1: np.ndarray
+) -> np.ndarray:
+    """First-order geometric (Sampson) distance of matches to the epipolar model."""
+    h0 = np.column_stack([points0, np.ones(len(points0))])
+    h1 = np.column_stack([points1, np.ones(len(points1))])
+    f_p0 = h0 @ fundamental.T  # rows: F @ p0
+    ft_p1 = h1 @ fundamental  # rows: F^T @ p1
+    numerator = np.square(np.sum(h1 * f_p0, axis=1))
+    denominator = (
+        f_p0[:, 0] ** 2 + f_p0[:, 1] ** 2 + ft_p1[:, 0] ** 2 + ft_p1[:, 1] ** 2
+    )
+    return numerator / np.maximum(denominator, 1e-12)
+
+
+def fundamental_ransac(
+    points0: np.ndarray,
+    points1: np.ndarray,
+    threshold: float = 1.5,
+    max_iterations: int = 200,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """RANSAC-robust fundamental matrix.
+
+    Returns the matrix refit on all inliers and the boolean inlier mask.
+    edgeIS feeds mostly-background matches here (Section III-A), so the
+    inlier model is the static scene and moving-object matches fall out as
+    outliers.
+    """
+    points0 = np.asarray(points0, dtype=float)
+    points1 = np.asarray(points1, dtype=float)
+    count = len(points0)
+    if count < 8:
+        raise ValueError("fundamental_ransac needs >= 8 matched pairs")
+    rng = np.random.default_rng(0) if rng is None else rng
+    threshold_sq = threshold * threshold
+    best_mask = np.zeros(count, dtype=bool)
+    best_inliers = -1
+    for _ in range(max_iterations):
+        sample = rng.choice(count, size=8, replace=False)
+        try:
+            candidate = eight_point_fundamental(points0[sample], points1[sample])
+        except np.linalg.LinAlgError:  # pragma: no cover - degenerate sample
+            continue
+        errors = sampson_distance(candidate, points0, points1)
+        mask = errors < threshold_sq
+        inliers = int(mask.sum())
+        if inliers > best_inliers:
+            best_inliers = inliers
+            best_mask = mask
+            if inliers > 0.95 * count:
+                break
+    if best_inliers < 8:
+        raise ValueError("fundamental_ransac found no 8-inlier consensus")
+    refined = eight_point_fundamental(points0[best_mask], points1[best_mask])
+    errors = sampson_distance(refined, points0, points1)
+    final_mask = errors < threshold_sq
+    if final_mask.sum() >= 8:
+        refined = eight_point_fundamental(points0[final_mask], points1[final_mask])
+    else:
+        final_mask = best_mask
+    return refined, final_mask
+
+
+def essential_from_fundamental(
+    fundamental: np.ndarray, camera: PinholeCamera
+) -> np.ndarray:
+    """``E = K^T F K`` (Eq. 2), with singular values projected to (1, 1, 0)."""
+    essential = camera.matrix.T @ fundamental @ camera.matrix
+    u, _, vt = np.linalg.svd(essential)
+    return u @ np.diag([1.0, 1.0, 0.0]) @ vt
+
+
+def decompose_essential(essential: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+    """The four (R, t) candidates of an essential matrix, ``t`` unit-norm."""
+    u, _, vt = np.linalg.svd(essential)
+    if np.linalg.det(u) < 0:
+        u = -u
+    if np.linalg.det(vt) < 0:
+        vt = -vt
+    w = np.array([[0.0, -1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 1.0]])
+    rotation_a = u @ w @ vt
+    rotation_b = u @ w.T @ vt
+    translation = u[:, 2]
+    return [
+        (rotation_a, translation),
+        (rotation_a, -translation),
+        (rotation_b, translation),
+        (rotation_b, -translation),
+    ]
+
+
+@dataclass
+class TwoViewGeometry:
+    """Result of relative-pose recovery between two frames."""
+
+    pose_10: SE3  # camera-1 from camera-0 (the paper's R_10, t_10)
+    inlier_mask: np.ndarray
+    points_3d: np.ndarray  # triangulated inlier points in frame-0 coordinates
+    point_indices: np.ndarray  # indices into the original match arrays
+    median_parallax_deg: float
+
+
+def recover_relative_pose(
+    camera: PinholeCamera,
+    points0: np.ndarray,
+    points1: np.ndarray,
+    ransac_threshold: float = 1.5,
+    min_depth: float = 1e-3,
+    rng: np.random.Generator | None = None,
+) -> TwoViewGeometry:
+    """Full two-view initialization: F (RANSAC) -> E -> (R, t) -> structure.
+
+    Picks the (R, t) candidate with the most points passing the cheirality
+    check (positive depth in both cameras) and triangulates those points.
+    Scale is fixed by ``|t| = 1``, the usual monocular-VO convention; edgeIS
+    inherits the same scale ambiguity and all downstream geometry is
+    consistent within it.
+    """
+    points0 = np.asarray(points0, dtype=float)
+    points1 = np.asarray(points1, dtype=float)
+    fundamental, inlier_mask = fundamental_ransac(
+        points0, points1, threshold=ransac_threshold, rng=rng
+    )
+    essential = essential_from_fundamental(fundamental, camera)
+    candidates = decompose_essential(essential)
+
+    inlier_idx = np.flatnonzero(inlier_mask)
+    norm0 = camera.normalize(points0[inlier_idx])
+    norm1 = camera.normalize(points1[inlier_idx])
+
+    best: tuple[int, SE3, np.ndarray, np.ndarray] | None = None
+    for rotation, translation in candidates:
+        pose_10 = SE3(rotation, translation)
+        points_3d, valid = triangulate_midpoint(norm0, norm1, pose_10, min_depth=min_depth)
+        score = int(valid.sum())
+        if best is None or score > best[0]:
+            best = (score, pose_10, points_3d, valid)
+    assert best is not None
+    _, pose_10, points_3d, valid = best
+
+    kept = inlier_idx[valid]
+    kept_points = points_3d[valid]
+
+    # Parallax diagnostic: angle subtended at each 3-D point by the two
+    # camera centers.  The initializer (Section III-A) requires "enough
+    # parallax" before accepting a frame pair.
+    center0 = np.zeros(3)
+    center1 = pose_10.inverse().translation  # camera-1 center in frame-0 coords
+    ray0 = kept_points - center0
+    ray1 = kept_points - center1
+    cosines = np.sum(ray0 * ray1, axis=1) / np.maximum(
+        np.linalg.norm(ray0, axis=1) * np.linalg.norm(ray1, axis=1), 1e-12
+    )
+    parallax = (
+        float(np.degrees(np.median(np.arccos(np.clip(cosines, -1.0, 1.0)))))
+        if len(kept_points)
+        else 0.0
+    )
+
+    return TwoViewGeometry(
+        pose_10=pose_10,
+        inlier_mask=inlier_mask,
+        points_3d=kept_points,
+        point_indices=kept,
+        median_parallax_deg=parallax,
+    )

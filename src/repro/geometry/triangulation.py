@@ -1,0 +1,132 @@
+"""Triangulation of 3-D points from two views.
+
+Implements the depth recovery of Eq. (3): given matched normalized rays in
+two frames and the relative pose between them, solve for the 3-D point.
+Two solvers are provided — the linear DLT used for map creation and a fast
+midpoint method used during initialization candidate scoring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .se3 import SE3
+
+__all__ = ["triangulate_dlt", "triangulate_midpoint", "reprojection_errors"]
+
+
+def _rays_from_normalized(normalized: np.ndarray) -> np.ndarray:
+    """Append z=1 to normalized image coordinates to get direction vectors."""
+    normalized = np.atleast_2d(np.asarray(normalized, dtype=float))
+    return np.column_stack([normalized, np.ones(len(normalized))])
+
+
+def triangulate_midpoint(
+    norm0: np.ndarray,
+    norm1: np.ndarray,
+    pose_10: SE3,
+    min_depth: float = 1e-3,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Midpoint triangulation of matched normalized points.
+
+    Parameters
+    ----------
+    norm0, norm1:
+        (N, 2) normalized coordinates in frame 0 and frame 1.
+    pose_10:
+        Frame-1-from-frame-0 transform.
+
+    Returns
+    -------
+    points:
+        (N, 3) points in frame-0 coordinates (garbage where invalid).
+    valid:
+        Boolean cheirality mask: positive depth in both cameras.
+    """
+    rays0 = _rays_from_normalized(norm0)
+    rays1_in_1 = _rays_from_normalized(norm1)
+    pose_01 = pose_10.inverse()
+    # Express frame-1 rays in frame-0 coordinates.
+    directions1 = rays1_in_1 @ pose_01.rotation.T
+    origin1 = pose_01.translation
+
+    # Solve min over (s0, s1) of |s0*d0 - (o1 + s1*d1)|^2 per match.
+    d0_dot_d0 = np.sum(rays0 * rays0, axis=1)
+    d1_dot_d1 = np.sum(directions1 * directions1, axis=1)
+    d0_dot_d1 = np.sum(rays0 * directions1, axis=1)
+    d0_dot_o = rays0 @ origin1
+    d1_dot_o = directions1 @ origin1
+
+    denominator = d0_dot_d0 * d1_dot_d1 - d0_dot_d1 * d0_dot_d1
+    safe_denominator = np.where(np.abs(denominator) < 1e-12, 1e-12, denominator)
+    s0 = (d1_dot_d1 * d0_dot_o - d0_dot_d1 * d1_dot_o) / safe_denominator
+    s1 = (d0_dot_d1 * d0_dot_o - d0_dot_d0 * d1_dot_o) / safe_denominator
+
+    points0_side = rays0 * s0[:, None]
+    points1_side = origin1 + directions1 * s1[:, None]
+    points = 0.5 * (points0_side + points1_side)
+
+    depths0 = points[:, 2]
+    depths1 = (pose_10.transform(points))[:, 2]
+    valid = (
+        (depths0 > min_depth)
+        & (depths1 > min_depth)
+        & (np.abs(denominator) > 1e-12)
+    )
+    return points, valid
+
+
+def triangulate_dlt(
+    norm0: np.ndarray,
+    norm1: np.ndarray,
+    pose_0w: SE3,
+    pose_1w: SE3,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Linear (DLT) triangulation into *world* coordinates.
+
+    Each view contributes two rows to ``A X = 0`` built from its 3x4
+    projection matrix in normalized coordinates; solved per-point by SVD.
+
+    Returns world points and a cheirality validity mask.
+    """
+    norm0 = np.atleast_2d(np.asarray(norm0, dtype=float))
+    norm1 = np.atleast_2d(np.asarray(norm1, dtype=float))
+    projection0 = np.hstack([pose_0w.rotation, pose_0w.translation[:, None]])
+    projection1 = np.hstack([pose_1w.rotation, pose_1w.translation[:, None]])
+
+    count = len(norm0)
+    points = np.zeros((count, 3))
+    valid = np.zeros(count, dtype=bool)
+    for i in range(count):
+        a_matrix = np.stack(
+            [
+                norm0[i, 0] * projection0[2] - projection0[0],
+                norm0[i, 1] * projection0[2] - projection0[1],
+                norm1[i, 0] * projection1[2] - projection1[0],
+                norm1[i, 1] * projection1[2] - projection1[1],
+            ]
+        )
+        _, _, vt = np.linalg.svd(a_matrix)
+        homogeneous = vt[-1]
+        if abs(homogeneous[3]) < 1e-12:
+            continue
+        point = homogeneous[:3] / homogeneous[3]
+        depth0 = (pose_0w.transform(point))[2]
+        depth1 = (pose_1w.transform(point))[2]
+        if depth0 > 1e-6 and depth1 > 1e-6:
+            points[i] = point
+            valid[i] = True
+    return points, valid
+
+
+def reprojection_errors(
+    camera_matrix: np.ndarray,
+    pose_cw: SE3,
+    points_world: np.ndarray,
+    pixels: np.ndarray,
+) -> np.ndarray:
+    """Per-point pixel reprojection error norm (the residual of Eq. 4)."""
+    points_camera = pose_cw.transform(np.asarray(points_world, dtype=float))
+    depths = np.maximum(points_camera[:, 2], 1e-12)
+    projected = (points_camera @ camera_matrix.T)[:, :2] / depths[:, None]
+    return np.linalg.norm(projected - np.asarray(pixels, dtype=float), axis=1)

@@ -1,0 +1,110 @@
+"""Mask-overlay drawing and image export.
+
+The mobile client of the paper "renders masks and visual effects on the
+screen" via OpenCV; these helpers provide that rendering path for the
+examples and for debugging — colored translucent mask overlays, contour
+outlines, and a dependency-free PPM/PGM writer so frames can be saved and
+inspected without any imaging library.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .contours import mask_boundary
+from .masks import InstanceMask
+
+__all__ = ["instance_color", "overlay_masks", "draw_boxes", "save_ppm", "save_pgm"]
+
+_PALETTE = np.array(
+    [
+        (230, 80, 60),
+        (70, 140, 230),
+        (90, 200, 90),
+        (240, 200, 60),
+        (180, 100, 220),
+        (80, 210, 210),
+        (240, 130, 180),
+        (160, 160, 80),
+    ],
+    dtype=np.float32,
+)
+
+
+def instance_color(instance_id: int) -> np.ndarray:
+    """Stable RGB color for an instance id."""
+    return _PALETTE[instance_id % len(_PALETTE)]
+
+
+def overlay_masks(
+    image: np.ndarray,
+    masks: list[InstanceMask],
+    alpha: float = 0.45,
+    outline: bool = True,
+) -> np.ndarray:
+    """Blend instance masks over an RGB image; returns a new uint8 array."""
+    canvas = np.asarray(image, dtype=np.float32).copy()
+    if canvas.ndim == 2:
+        canvas = np.repeat(canvas[..., None], 3, axis=2)
+    for instance in masks:
+        color = instance_color(instance.instance_id)
+        region = instance.mask
+        if region.shape != canvas.shape[:2]:
+            raise ValueError("mask shape does not match image")
+        canvas[region] = (1 - alpha) * canvas[region] + alpha * color
+        if outline:
+            border = mask_boundary(region)
+            canvas[border] = color
+    return np.clip(canvas, 0, 255).astype(np.uint8)
+
+
+def draw_boxes(
+    image: np.ndarray, boxes: list[tuple[int, int, int, int]], instance_ids=None
+) -> np.ndarray:
+    """Draw 1-px rectangle outlines; returns a new uint8 array."""
+    canvas = np.asarray(image, dtype=np.float32).copy()
+    if canvas.ndim == 2:
+        canvas = np.repeat(canvas[..., None], 3, axis=2)
+    height, width = canvas.shape[:2]
+    for index, box in enumerate(boxes):
+        x0, y0, x1, y1 = (int(v) for v in box)
+        x0, y0 = max(x0, 0), max(y0, 0)
+        x1, y1 = min(x1, width), min(y1, height)
+        if x1 <= x0 or y1 <= y0:
+            continue
+        color = instance_color(
+            instance_ids[index] if instance_ids is not None else index
+        )
+        canvas[y0, x0:x1] = color
+        canvas[y1 - 1, x0:x1] = color
+        canvas[y0:y1, x0] = color
+        canvas[y0:y1, x1 - 1] = color
+    return np.clip(canvas, 0, 255).astype(np.uint8)
+
+
+def save_ppm(path: str | Path, image: np.ndarray) -> None:
+    """Write an (H, W, 3) uint8 array as a binary PPM (P6)."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError("save_ppm expects an (H, W, 3) image")
+    image = image.astype(np.uint8)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{image.shape[1]} {image.shape[0]}\n255\n".encode())
+        handle.write(image.tobytes())
+
+
+def save_pgm(path: str | Path, gray: np.ndarray) -> None:
+    """Write an (H, W) array as a binary PGM (P5), clipped to uint8."""
+    gray = np.asarray(gray)
+    if gray.ndim != 2:
+        raise ValueError("save_pgm expects an (H, W) image")
+    gray = np.clip(gray, 0, 255).astype(np.uint8)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(f"P5\n{gray.shape[1]} {gray.shape[0]}\n255\n".encode())
+        handle.write(gray.tobytes())

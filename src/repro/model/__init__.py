@@ -1,0 +1,48 @@
+"""Simulated segmentation models with real anchor/RoI bookkeeping, the
+CIIA acceleration (Section IV) and the explicit latency cost model."""
+
+from .anchors import FPN_LEVELS, AnchorGrid, AnchorLevel
+from .nms import box_iou_matrix, fast_nms, nms
+from .costs import DEVICES, MODEL_COSTS, DeviceProfile, ModelCost
+from .degrade import degrade_mask_to_iou, sample_target_iou
+from .rpn import Proposal, RPNOutput, simulate_rpn
+from .acceleration import (
+    InferenceInstruction,
+    PruningResult,
+    dynamic_anchor_placement,
+    instructions_from_masks,
+    prune_rois,
+)
+from .maskrcnn import (
+    PROFILES,
+    InferenceResult,
+    ModelProfile,
+    SimulatedSegmentationModel,
+)
+
+__all__ = [
+    "FPN_LEVELS",
+    "AnchorGrid",
+    "AnchorLevel",
+    "box_iou_matrix",
+    "fast_nms",
+    "nms",
+    "DEVICES",
+    "MODEL_COSTS",
+    "DeviceProfile",
+    "ModelCost",
+    "degrade_mask_to_iou",
+    "sample_target_iou",
+    "Proposal",
+    "RPNOutput",
+    "simulate_rpn",
+    "InferenceInstruction",
+    "PruningResult",
+    "dynamic_anchor_placement",
+    "instructions_from_masks",
+    "prune_rois",
+    "PROFILES",
+    "InferenceResult",
+    "ModelProfile",
+    "SimulatedSegmentationModel",
+]

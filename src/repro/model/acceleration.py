@@ -1,0 +1,176 @@
+"""Contour Instructed edge Inference Acceleration (CIIA, paper Section IV).
+
+Two mechanisms, both driven by the masks the mobile device transferred:
+
+* :func:`dynamic_anchor_placement` — restrict RPN evaluation to boxes
+  around the transferred masks plus any annotated new-content areas
+  (Section IV-A).
+* :func:`prune_rois` — inside each instructed area of known class ``c``,
+  discard every RoI dominated by another with both a higher confidence on
+  ``c`` and a higher IoU with the area's initial box; RoIs in unknown
+  areas go through YOLACT's Fast NMS instead (Section IV-B, Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..image.masks import InstanceMask
+from .anchors import AnchorGrid
+from .nms import box_iou_matrix, fast_nms
+from .rpn import Proposal
+
+__all__ = [
+    "InferenceInstruction",
+    "instructions_from_masks",
+    "dynamic_anchor_placement",
+    "PruningResult",
+    "prune_rois",
+]
+
+
+@dataclass
+class InferenceInstruction:
+    """One instructed area: where an object (or new content) is expected."""
+
+    box: np.ndarray  # (4,) initial box
+    class_label: str | None  # None for "new content, class unknown"
+    instance_id: int | None = None
+
+    @property
+    def is_known_object(self) -> bool:
+        return self.class_label is not None
+
+
+def instructions_from_masks(
+    transferred_masks: list[InstanceMask],
+    new_area_boxes: list[np.ndarray] | None = None,
+) -> list[InferenceInstruction]:
+    """Build instructions from transferred masks plus new-content boxes."""
+    instructions: list[InferenceInstruction] = []
+    for mask in transferred_masks:
+        box = mask.box
+        if box is None:
+            continue
+        instructions.append(
+            InferenceInstruction(
+                box=np.asarray(box, dtype=float),
+                class_label=mask.class_label,
+                instance_id=mask.instance_id,
+            )
+        )
+    for box in new_area_boxes or []:
+        instructions.append(
+            InferenceInstruction(box=np.asarray(box, dtype=float), class_label=None)
+        )
+    return instructions
+
+
+def dynamic_anchor_placement(
+    anchor_grid: AnchorGrid,
+    instructions: list[InferenceInstruction],
+    margin: float = 0.45,
+) -> dict[str, np.ndarray]:
+    """Per-level anchor-location masks for the instructed areas."""
+    if not instructions:
+        # No instructions: evaluate nothing would be wrong — the caller
+        # should fall back to a full-frame pass instead.
+        return {
+            level.name: np.ones(level.num_locations, dtype=bool)
+            for level in anchor_grid.levels
+        }
+    boxes = np.stack([inst.box for inst in instructions])
+    return anchor_grid.locations_in_boxes(boxes, margin=margin)
+
+
+@dataclass
+class PruningResult:
+    kept: list[Proposal]
+    num_input: int
+    num_kept: int
+    num_pruned_dominated: int
+    num_pruned_nms: int
+
+    @property
+    def keep_fraction(self) -> float:
+        return self.num_kept / max(self.num_input, 1)
+
+
+def prune_rois(
+    proposals: list[Proposal],
+    instructions: list[InferenceInstruction],
+    class_confidences: np.ndarray,
+    assign_iou: float = 0.15,
+    nms_threshold: float = 0.35,
+) -> PruningResult:
+    """The paper's RoI pruning (Section IV-B).
+
+    ``class_confidences[i]`` is proposal i's confidence on the class of
+    its assigned instruction (precomputed by the caller; for unknown-area
+    proposals it is the objectness).
+
+    Each proposal is assigned to the instruction whose initial box it
+    overlaps most (if above ``assign_iou``).  Within a known-object
+    group, proposals are sorted by class confidence; one is pruned when a
+    higher-confidence proposal also has a higher IoU with the initial box
+    (strict dominance, Fig. 7).  Unassigned proposals and new-area groups
+    are filtered with Fast NMS.
+    """
+    if not proposals:
+        return PruningResult([], 0, 0, 0, 0)
+    boxes = np.stack([p.box for p in proposals])
+    class_confidences = np.asarray(class_confidences, dtype=float)
+
+    groups: dict[int, list[int]] = {}
+    unknown: list[int] = []
+    if instructions:
+        instruction_boxes = np.stack([inst.box for inst in instructions])
+        overlap = box_iou_matrix(boxes, instruction_boxes)
+        best_instruction = overlap.argmax(axis=1)
+        best_overlap = overlap.max(axis=1)
+        for index in range(len(proposals)):
+            if best_overlap[index] >= assign_iou and instructions[
+                int(best_instruction[index])
+            ].is_known_object:
+                groups.setdefault(int(best_instruction[index]), []).append(index)
+            else:
+                unknown.append(index)
+    else:
+        unknown = list(range(len(proposals)))
+
+    kept_indices: list[int] = []
+    pruned_dominated = 0
+    for instruction_index, members in groups.items():
+        init_box = instructions[instruction_index].box[None]
+        member_boxes = boxes[members]
+        init_iou = box_iou_matrix(member_boxes, init_box)[:, 0]
+        confidence = class_confidences[members]
+        order = np.argsort(-confidence)  # descending confidence
+        best_init_iou_so_far = -1.0
+        for rank in order:
+            if init_iou[rank] > best_init_iou_so_far:
+                # Not dominated: nothing above it beats its localization.
+                kept_indices.append(members[rank])
+                best_init_iou_so_far = init_iou[rank]
+            else:
+                pruned_dominated += 1
+
+    pruned_nms = 0
+    if unknown:
+        unknown_boxes = boxes[unknown]
+        unknown_scores = class_confidences[unknown]
+        kept_unknown = fast_nms(unknown_boxes, unknown_scores, iou_threshold=nms_threshold)
+        pruned_nms = len(unknown) - len(kept_unknown)
+        kept_indices.extend(int(unknown[i]) for i in kept_unknown)
+
+    kept_indices.sort()
+    kept = [proposals[i] for i in kept_indices]
+    return PruningResult(
+        kept=kept,
+        num_input=len(proposals),
+        num_kept=len(kept),
+        num_pruned_dominated=pruned_dominated,
+        num_pruned_nms=pruned_nms,
+    )

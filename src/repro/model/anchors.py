@@ -1,0 +1,147 @@
+"""Anchor grids over an FPN pyramid.
+
+Mask R-CNN with a ResNet-101-FPN backbone places anchors at every location
+of five feature maps (P2..P6, strides 4..64).  The contour-instructed
+acceleration of the paper works by *not evaluating* most of these
+locations, so the anchor bookkeeping here is real: the grids are
+materialized, counted and filtered exactly as described, and the latency
+model charges for every location actually evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FPN_LEVELS", "AnchorLevel", "AnchorGrid"]
+
+# (name, stride, base anchor size) — the standard Mask R-CNN FPN setup.
+FPN_LEVELS = (
+    ("P2", 4, 32),
+    ("P3", 8, 64),
+    ("P4", 16, 128),
+    ("P5", 32, 256),
+    ("P6", 64, 512),
+)
+
+ASPECT_RATIOS = (0.5, 1.0, 2.0)
+
+
+@dataclass
+class AnchorLevel:
+    """Anchors of one pyramid level."""
+
+    name: str
+    stride: int
+    base_size: int
+    grid_height: int
+    grid_width: int
+    centers: np.ndarray  # (L, 2) anchor-center pixel coordinates (u, v)
+    boxes: np.ndarray  # (L * A, 4) anchor boxes (x0, y0, x1, y1)
+
+    @property
+    def num_locations(self) -> int:
+        return self.grid_height * self.grid_width
+
+    @property
+    def anchors_per_location(self) -> int:
+        return len(ASPECT_RATIOS)
+
+    @property
+    def num_anchors(self) -> int:
+        return self.num_locations * self.anchors_per_location
+
+
+class AnchorGrid:
+    """All anchor levels for a given image size.
+
+    The canonical Mask R-CNN anchor sizes (32..512) assume inputs resized
+    to ~800 px on the short side; for smaller simulation frames the bases
+    scale down proportionally so small objects remain coverable, exactly
+    as the resize transform achieves in the real pipeline.
+    """
+
+    REFERENCE_WIDTH = 800
+
+    def __init__(self, image_height: int, image_width: int):
+        self.image_height = image_height
+        self.image_width = image_width
+        self.anchor_scale = float(
+            np.clip(image_width / self.REFERENCE_WIDTH, 0.25, 1.0)
+        )
+        self.levels: list[AnchorLevel] = [
+            self._build_level(name, stride, max(base * self.anchor_scale, 8.0))
+            for name, stride, base in FPN_LEVELS
+        ]
+
+    def _build_level(self, name: str, stride: int, base_size: int) -> AnchorLevel:
+        grid_height = int(np.ceil(self.image_height / stride))
+        grid_width = int(np.ceil(self.image_width / stride))
+        ys = (np.arange(grid_height) + 0.5) * stride
+        xs = (np.arange(grid_width) + 0.5) * stride
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        centers = np.stack([grid_x.ravel(), grid_y.ravel()], axis=1)
+
+        boxes = []
+        for ratio in ASPECT_RATIOS:
+            width = base_size * np.sqrt(1.0 / ratio)
+            height = base_size * np.sqrt(ratio)
+            half = np.array([width / 2.0, height / 2.0])
+            boxes.append(
+                np.concatenate([centers - half, centers + half], axis=1)
+            )
+        # Interleave so boxes[location * A + a] belongs to location.
+        stacked = np.stack(boxes, axis=1).reshape(-1, 4)
+        return AnchorLevel(
+            name=name,
+            stride=stride,
+            base_size=base_size,
+            grid_height=grid_height,
+            grid_width=grid_width,
+            centers=centers,
+            boxes=stacked,
+        )
+
+    @property
+    def total_locations(self) -> int:
+        return sum(level.num_locations for level in self.levels)
+
+    @property
+    def total_anchors(self) -> int:
+        return sum(level.num_anchors for level in self.levels)
+
+    def level(self, name: str) -> AnchorLevel:
+        for level in self.levels:
+            if level.name == name:
+                return level
+        raise KeyError(name)
+
+    def locations_in_boxes(
+        self, boxes: np.ndarray, margin: float = 0.15
+    ) -> dict[str, np.ndarray]:
+        """Per-level boolean masks of anchor locations inside any given box.
+
+        This is the *dynamic anchor placement* primitive: boxes (expanded
+        by ``margin`` of their size) select the locations the RPN will
+        actually evaluate.
+        """
+        out: dict[str, np.ndarray] = {}
+        boxes = np.asarray(boxes, dtype=float).reshape(-1, 4)
+        for level in self.levels:
+            mask = np.zeros(level.num_locations, dtype=bool)
+            for box in boxes:
+                width = box[2] - box[0]
+                height = box[3] - box[1]
+                x0 = box[0] - margin * width
+                y0 = box[1] - margin * height
+                x1 = box[2] + margin * width
+                y1 = box[3] + margin * height
+                mask |= (
+                    (level.centers[:, 0] >= x0)
+                    & (level.centers[:, 0] <= x1)
+                    & (level.centers[:, 1] >= y0)
+                    & (level.centers[:, 1] <= y1)
+                )
+            out[level.name] = mask
+        return out

@@ -1,0 +1,312 @@
+"""The simulated segmentation models (Mask R-CNN, YOLACT, YOLOv3).
+
+Structure is real — anchor grids, proposal selection, RoI pruning and the
+latency they imply — while the perception itself is an error model on the
+renderer's ground truth (see ``repro.model.degrade`` and DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..image.masks import InstanceMask
+from .acceleration import (
+    InferenceInstruction,
+    PruningResult,
+    dynamic_anchor_placement,
+    prune_rois,
+)
+from .anchors import AnchorGrid
+from .costs import DEVICES, MODEL_COSTS, DeviceProfile, ModelCost
+from .degrade import degrade_mask_to_iou, sample_target_iou
+from .nms import box_iou_matrix
+from .rpn import simulate_rpn
+
+__all__ = ["ModelProfile", "PROFILES", "InferenceResult", "SimulatedSegmentationModel"]
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Accuracy/latency profile of one model family."""
+
+    name: str
+    cost_key: str
+    mask_iou_mean: float
+    mask_iou_std: float
+    classification_accuracy: float
+    small_area_px: int  # below this, detection gets unreliable
+    small_miss_rate: float
+    boxes_only: bool = False  # YOLOv3: emits filled boxes, not masks
+    two_stage: bool = True  # has an RPN that CIIA can instruct
+
+
+PROFILES: dict[str, ModelProfile] = {
+    "mask_rcnn_r101": ModelProfile(
+        name="mask_rcnn_r101",
+        cost_key="mask_rcnn_r101",
+        mask_iou_mean=0.95,
+        mask_iou_std=0.025,
+        classification_accuracy=0.985,
+        small_area_px=90,
+        small_miss_rate=0.35,
+        two_stage=True,
+    ),
+    "yolact_r50": ModelProfile(
+        name="yolact_r50",
+        cost_key="yolact_r50",
+        mask_iou_mean=0.76,
+        mask_iou_std=0.06,
+        classification_accuracy=0.96,
+        small_area_px=140,
+        small_miss_rate=0.5,
+        two_stage=False,
+    ),
+    "yolov3": ModelProfile(
+        name="yolov3",
+        cost_key="yolov3",
+        mask_iou_mean=0.985,  # box IoU — it is a detector
+        mask_iou_std=0.01,
+        classification_accuracy=0.97,
+        small_area_px=80,
+        small_miss_rate=0.3,
+        boxes_only=True,
+        two_stage=False,
+    ),
+}
+
+
+@dataclass
+class InferenceResult:
+    """Output of one (simulated) inference call."""
+
+    masks: list[InstanceMask]
+    rpn_ms: float
+    inference_ms: float
+    location_fraction: float
+    anchors_evaluated: int
+    num_proposals: int
+    num_rois: int  # RoIs actually processed by the second stage
+    pruning: PruningResult | None = None
+
+    @property
+    def total_ms(self) -> float:
+        return self.rpn_ms + self.inference_ms
+
+
+class SimulatedSegmentationModel:
+    """A segmentation model with an explicit work-latency ledger."""
+
+    def __init__(
+        self,
+        profile: str | ModelProfile = "mask_rcnn_r101",
+        device: str | DeviceProfile = "jetson_tx2",
+        rng: np.random.Generator | None = None,
+    ):
+        self.profile = PROFILES[profile] if isinstance(profile, str) else profile
+        self.device = DEVICES[device] if isinstance(device, str) else device
+        self.cost: ModelCost = MODEL_COSTS[self.profile.cost_key]
+        self._rng = rng or np.random.default_rng(0)
+        self._anchor_cache: dict[tuple[int, int], AnchorGrid] = {}
+
+    # ------------------------------------------------------------------
+    def infer(
+        self,
+        truth_masks: list[InstanceMask],
+        image_shape: tuple[int, int],
+        instructions: list[InferenceInstruction] | None = None,
+        use_dynamic_anchors: bool = True,
+        use_roi_pruning: bool = True,
+    ) -> InferenceResult:
+        """Segment a frame.
+
+        ``truth_masks`` are the renderer's ground-truth instances for this
+        frame (the simulated model's 'perception oracle').
+        ``instructions`` are the CIIA priors; None means an uninstructed
+        full-frame pass (keyframes before initialization, baselines).
+        """
+        if not self.profile.two_stage:
+            return self._infer_single_stage(truth_masks, image_shape)
+        return self._infer_two_stage(
+            truth_masks,
+            image_shape,
+            instructions,
+            use_dynamic_anchors,
+            use_roi_pruning,
+        )
+
+    # ------------------------------------------------------------------
+    def _anchor_grid(self, image_shape: tuple[int, int]) -> AnchorGrid:
+        key = (int(image_shape[0]), int(image_shape[1]))
+        grid = self._anchor_cache.get(key)
+        if grid is None:
+            grid = AnchorGrid(*key)
+            self._anchor_cache[key] = grid
+        return grid
+
+    def _infer_two_stage(
+        self,
+        truth_masks,
+        image_shape,
+        instructions,
+        use_dynamic_anchors,
+        use_roi_pruning,
+    ) -> InferenceResult:
+        grid = self._anchor_grid(image_shape)
+        gt_boxes = np.array(
+            [m.box for m in truth_masks if m.box is not None], dtype=float
+        ).reshape(-1, 4)
+        gt_instances = [m for m in truth_masks if m.box is not None]
+
+        instructed = bool(instructions) and use_dynamic_anchors
+        if instructed:
+            location_masks = dynamic_anchor_placement(grid, instructions)
+            location_fraction = sum(
+                int(location_masks[level.name].sum()) for level in grid.levels
+            ) / max(grid.total_locations, 1)
+        else:
+            location_masks = None
+            location_fraction = 1.0
+
+        # Proposal budget shrinks with the evaluated area: a denser anchor
+        # population in a smaller region dedups harder in selection.
+        budget = int(
+            self.cost.base_proposals * (0.55 + 0.45 * location_fraction)
+        )
+        rpn_output = simulate_rpn(
+            grid,
+            gt_boxes,
+            self._rng,
+            location_masks=location_masks,
+            max_proposals=min(self.cost.base_proposals, budget),
+        )
+
+        proposals = rpn_output.proposals
+        pruning: PruningResult | None = None
+        if instructions and use_roi_pruning and proposals:
+            confidences = self._class_confidences(proposals, instructions, gt_instances)
+            pruning = prune_rois(proposals, instructions, confidences)
+            rois = pruning.kept
+        else:
+            rois = proposals
+        num_rois = len(rois)
+
+        detections = self._emit_detections(
+            truth_masks, rois, image_shape, instructions
+        )
+
+        rpn_ms = self.device.scale(self.cost.rpn_latency(rpn_output.location_fraction))
+        inference_ms = self.device.scale(
+            self.cost.inference_latency(len(proposals), num_rois, len(detections))
+        )
+        return InferenceResult(
+            masks=detections,
+            rpn_ms=rpn_ms,
+            inference_ms=inference_ms,
+            location_fraction=rpn_output.location_fraction,
+            anchors_evaluated=rpn_output.anchors_evaluated,
+            num_proposals=len(proposals),
+            num_rois=num_rois,
+            pruning=pruning,
+        )
+
+    def _class_confidences(self, proposals, instructions, gt_instances) -> np.ndarray:
+        """Confidence of each proposal on its assigned instruction's class
+        (simulated classification head)."""
+        confidences = np.zeros(len(proposals))
+        for index, proposal in enumerate(proposals):
+            base = proposal.best_gt_iou
+            if proposal.best_gt_index >= 0:
+                gt = gt_instances[proposal.best_gt_index]
+                match = any(
+                    inst.is_known_object and inst.class_label == gt.class_label
+                    for inst in instructions
+                )
+                base = base * (1.0 if match else 0.6)
+            confidences[index] = np.clip(
+                base + self._rng.normal(scale=0.05), 0.0, 1.0
+            )
+        return confidences
+
+    def _emit_detections(
+        self, truth_masks, rois, image_shape, instructions
+    ) -> list[InstanceMask]:
+        """Turn covered ground-truth instances into degraded detections."""
+        if not truth_masks:
+            return []
+        roi_boxes = (
+            np.stack([r.box for r in rois]) if rois else np.zeros((0, 4))
+        )
+        detections: list[InstanceMask] = []
+        for instance in truth_masks:
+            box = instance.box
+            if box is None:
+                continue
+            covered = False
+            if len(roi_boxes):
+                overlap = box_iou_matrix(
+                    np.asarray(box, dtype=float)[None], roi_boxes
+                )[0]
+                covered = bool((overlap >= 0.5).any())
+            if not covered:
+                continue
+            if not self._detected(instance):
+                continue
+            detections.append(self._degraded_instance(instance, image_shape))
+        return detections
+
+    def _detected(self, instance: InstanceMask) -> bool:
+        area = instance.area
+        if area <= 0:
+            return False
+        if area < self.profile.small_area_px:
+            return bool(self._rng.uniform() >= self.profile.small_miss_rate)
+        return True
+
+    def _degraded_instance(
+        self, instance: InstanceMask, image_shape
+    ) -> InstanceMask:
+        target = sample_target_iou(
+            self.profile.mask_iou_mean, self.profile.mask_iou_std, self._rng
+        )
+        if self.profile.boxes_only:
+            box = instance.box
+            raster = np.zeros(image_shape, dtype=bool)
+            if box is not None:
+                raster[box[1] : box[3], box[0] : box[2]] = True
+            raster = degrade_mask_to_iou(raster, target, self._rng)
+        else:
+            raster = degrade_mask_to_iou(instance.mask, target, self._rng)
+        class_label = instance.class_label
+        if self._rng.uniform() > self.profile.classification_accuracy:
+            class_label = f"not_{class_label}"
+        score = float(np.clip(self._rng.normal(0.93, 0.05), 0.5, 1.0))
+        return InstanceMask(
+            instance_id=instance.instance_id,
+            class_label=class_label,
+            mask=raster,
+            score=score,
+        )
+
+    # ------------------------------------------------------------------
+    def _infer_single_stage(self, truth_masks, image_shape) -> InferenceResult:
+        """YOLACT / YOLOv3: fixed-cost single pass, no CIIA hooks."""
+        detections = []
+        for instance in truth_masks:
+            if instance.box is None or not self._detected(instance):
+                continue
+            detections.append(self._degraded_instance(instance, image_shape))
+        rpn_ms = self.device.scale(self.cost.rpn_latency(1.0))
+        inference_ms = self.device.scale(
+            self.cost.inference_latency(0, 0, len(detections))
+        )
+        return InferenceResult(
+            masks=detections,
+            rpn_ms=rpn_ms,
+            inference_ms=inference_ms,
+            location_fraction=1.0,
+            anchors_evaluated=0,
+            num_proposals=0,
+            num_rois=0,
+        )

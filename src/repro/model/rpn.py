@@ -1,0 +1,133 @@
+"""Region Proposal Network simulation.
+
+The RPN's *outputs* are simulated (objectness comes from anchor/GT overlap
+plus noise instead of a convolution), but its *bookkeeping* is real: it
+evaluates exactly the anchor locations it is told to (all of them, or the
+dynamic-anchor-placement subset), and the proposals it emits are concrete
+boxes whose count drives the second-stage latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .anchors import AnchorGrid
+from .nms import box_iou_matrix
+
+__all__ = ["Proposal", "RPNOutput", "simulate_rpn"]
+
+
+@dataclass
+class Proposal:
+    """One region proposal entering the second stage."""
+
+    box: np.ndarray  # (4,) x0, y0, x1, y1
+    objectness: float
+    best_gt_index: int  # -1 if background
+    best_gt_iou: float
+
+
+@dataclass
+class RPNOutput:
+    proposals: list[Proposal]
+    anchors_evaluated: int
+    total_anchors: int
+    location_fraction: float
+
+
+def simulate_rpn(
+    anchor_grid: AnchorGrid,
+    gt_boxes: np.ndarray,
+    rng: np.random.Generator,
+    location_masks: dict[str, np.ndarray] | None = None,
+    max_proposals: int = 1000,
+    objectness_noise: float = 0.08,
+    pre_nms_per_level: int = 600,
+) -> RPNOutput:
+    """Produce proposals from the evaluated anchor locations.
+
+    ``location_masks`` (per level, from dynamic anchor placement) limits
+    which locations are evaluated; None means the full grid.
+    """
+    gt_boxes = np.asarray(gt_boxes, dtype=float).reshape(-1, 4)
+    all_proposal_boxes = []
+    all_scores = []
+    anchors_evaluated = 0
+    locations_evaluated = 0
+
+    for level in anchor_grid.levels:
+        if location_masks is not None:
+            location_mask = location_masks[level.name]
+        else:
+            location_mask = np.ones(level.num_locations, dtype=bool)
+        locations_evaluated += int(location_mask.sum())
+        anchor_mask = np.repeat(location_mask, level.anchors_per_location)
+        boxes = level.boxes[anchor_mask]
+        anchors_evaluated += len(boxes)
+        if len(boxes) == 0:
+            continue
+
+        if len(gt_boxes):
+            overlap = box_iou_matrix(boxes, gt_boxes)
+            best_iou = overlap.max(axis=1)
+        else:
+            best_iou = np.zeros(len(boxes))
+        scores = np.clip(
+            best_iou + rng.normal(scale=objectness_noise, size=len(boxes)),
+            0.0,
+            1.0,
+        )
+        # Per-level pre-NMS top-k, as in the real RPN.
+        if len(scores) > pre_nms_per_level:
+            top = np.argpartition(-scores, pre_nms_per_level)[:pre_nms_per_level]
+        else:
+            top = np.arange(len(scores))
+        # Light box regression: nudge kept anchors toward their best GT.
+        kept_boxes = boxes[top].copy()
+        if len(gt_boxes):
+            kept_best = overlap[top].argmax(axis=1)
+            kept_iou = overlap[top].max(axis=1)
+            pull = np.clip(kept_iou, 0.0, 0.8)[:, None]
+            kept_boxes = kept_boxes * (1 - pull) + gt_boxes[kept_best] * pull
+            kept_boxes += rng.normal(scale=1.5, size=kept_boxes.shape)
+        all_proposal_boxes.append(kept_boxes)
+        all_scores.append(scores[top])
+
+    if not all_proposal_boxes:
+        return RPNOutput(
+            proposals=[],
+            anchors_evaluated=anchors_evaluated,
+            total_anchors=anchor_grid.total_anchors,
+            location_fraction=0.0,
+        )
+
+    boxes = np.vstack(all_proposal_boxes)
+    scores = np.concatenate(all_scores)
+    order = np.argsort(-scores)[:max_proposals]
+    boxes = boxes[order]
+    scores = scores[order]
+    if len(gt_boxes):
+        overlap = box_iou_matrix(boxes, gt_boxes)
+        best_index = overlap.argmax(axis=1)
+        best_iou = overlap.max(axis=1)
+    else:
+        best_index = np.full(len(boxes), -1)
+        best_iou = np.zeros(len(boxes))
+
+    proposals = [
+        Proposal(
+            box=boxes[i],
+            objectness=float(scores[i]),
+            best_gt_index=int(best_index[i]) if best_iou[i] >= 0.3 else -1,
+            best_gt_iou=float(best_iou[i]),
+        )
+        for i in range(len(boxes))
+    ]
+    return RPNOutput(
+        proposals=proposals,
+        anchors_evaluated=anchors_evaluated,
+        total_anchors=anchor_grid.total_anchors,
+        location_fraction=locations_evaluated / max(anchor_grid.total_locations, 1),
+    )

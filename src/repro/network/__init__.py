@@ -1,0 +1,5 @@
+"""Wireless channel models (WiFi 2.4/5 GHz, LTE)."""
+
+from .channel import CHANNELS, Channel, ChannelProfile, make_channel
+
+__all__ = ["CHANNELS", "Channel", "ChannelProfile", "make_channel"]

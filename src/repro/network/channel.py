@@ -1,0 +1,76 @@
+"""Wireless channel models.
+
+The evaluation runs under WiFi 2.4 GHz, WiFi 5 GHz (Section VI-C2) and
+LTE (the oil-field study, Section VI-G).  Each channel is a stochastic
+model of effective application-layer throughput and round-trip time, with
+log-normal jitter and occasional loss-retransmission stalls — enough to
+reproduce how transmission latency separates the systems without modeling
+radio internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ChannelProfile", "Channel", "CHANNELS", "make_channel"]
+
+
+@dataclass(frozen=True)
+class ChannelProfile:
+    """Effective (application-layer) link parameters."""
+
+    name: str
+    uplink_mbps: float
+    downlink_mbps: float
+    rtt_ms: float
+    jitter: float  # sigma of the log-normal latency multiplier
+    loss_rate: float  # probability a transfer needs a retransmission stall
+
+
+CHANNELS: dict[str, ChannelProfile] = {
+    # Effective throughputs, not PHY rates: a busy 2.4 GHz channel
+    # delivers a few tens of Mbps; 5 GHz over 100; LTE uplink ~10.
+    "wifi_5ghz": ChannelProfile("wifi_5ghz", 120.0, 160.0, 5.0, 0.18, 0.005),
+    "wifi_2.4ghz": ChannelProfile("wifi_2.4ghz", 16.0, 22.0, 12.0, 0.32, 0.025),
+    "lte": ChannelProfile("lte", 11.0, 28.0, 45.0, 0.35, 0.03),
+}
+
+
+class Channel:
+    """A bidirectional link with stochastic latency draws."""
+
+    def __init__(self, profile: ChannelProfile, rng: np.random.Generator | None = None):
+        self.profile = profile
+        self._rng = rng or np.random.default_rng(0)
+        self.bytes_up = 0
+        self.bytes_down = 0
+
+    def _transfer_ms(self, num_bytes: int, mbps: float) -> float:
+        serialization = num_bytes * 8.0 / (mbps * 1e6) * 1000.0
+        multiplier = float(
+            np.exp(self._rng.normal(0.0, self.profile.jitter))
+        )
+        latency = self.profile.rtt_ms / 2.0 + serialization * multiplier
+        if self._rng.uniform() < self.profile.loss_rate:
+            # A loss event stalls for roughly one RTO (~2 RTT here).
+            latency += 2.0 * self.profile.rtt_ms
+        return latency
+
+    def uplink_ms(self, num_bytes: int) -> float:
+        """Latency to move ``num_bytes`` from mobile to edge."""
+        self.bytes_up += int(num_bytes)
+        return self._transfer_ms(num_bytes, self.profile.uplink_mbps)
+
+    def downlink_ms(self, num_bytes: int) -> float:
+        """Latency to move ``num_bytes`` from edge to mobile."""
+        self.bytes_down += int(num_bytes)
+        return self._transfer_ms(num_bytes, self.profile.downlink_mbps)
+
+
+def make_channel(name: str, rng: np.random.Generator | None = None) -> Channel:
+    profile = CHANNELS.get(name)
+    if profile is None:
+        raise ValueError(f"unknown channel {name!r}; pick from {sorted(CHANNELS)}")
+    return Channel(profile, rng)

@@ -1,0 +1,156 @@
+"""Multi-client pipeline: several devices sharing one edge server.
+
+The paper's field deployment connects *eight* mobile devices to a single
+Jetson AGX Xavier (Section VI-G).  :class:`MultiClientPipeline` interleaves
+any number of (video, client, channel) sessions against one
+:class:`~repro.runtime.pipeline.EdgeServer`, whose single-inference-at-a-
+time queue then serializes the whole fleet's offloads — reproducing the
+contention that separates a shared deployment from per-device lab runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..encoding.mask_codec import encoded_size_bytes
+from ..image.masks import InstanceMask, mask_iou
+from ..network.channel import Channel
+from ..synthetic.world import SyntheticVideo
+from .interface import ClientSystem
+from .pipeline import (
+    RESULT_HEADER_BYTES,
+    EdgeServer,
+    FrameMetric,
+    RunResult,
+    _PendingDelivery,
+)
+
+__all__ = ["ClientSession", "MultiClientPipeline"]
+
+
+@dataclass
+class ClientSession:
+    """One device in the fleet."""
+
+    video: SyntheticVideo
+    client: ClientSystem
+    channel: Channel
+    # Mutable run state:
+    busy_until_ms: float = 0.0
+    last_masks: list[InstanceMask] = field(default_factory=list)
+    pending: list[_PendingDelivery] = field(default_factory=list)
+    metrics: list[FrameMetric] = field(default_factory=list)
+    offload_count: int = 0
+
+
+class MultiClientPipeline:
+    """Drive N clients frame-locked against one shared edge server."""
+
+    def __init__(
+        self,
+        sessions: list[ClientSession],
+        server: EdgeServer,
+        warmup_frames: int = 45,
+        min_gt_area: int = 200,
+    ):
+        if not sessions:
+            raise ValueError("MultiClientPipeline needs at least one session")
+        lengths = {len(s.video) for s in sessions}
+        if len(lengths) != 1:
+            raise ValueError("all session videos must have the same length")
+        self.sessions = sessions
+        self.server = server
+        self.warmup_frames = warmup_frames
+        self.min_gt_area = min_gt_area
+
+    def run(self) -> list[RunResult]:
+        num_frames = len(self.sessions[0].video)
+        fps = self.sessions[0].video.fps
+        frame_interval = 1000.0 / fps
+
+        for frame_index in range(num_frames):
+            now = frame_index * frame_interval
+            for session in self.sessions:
+                self._step_session(session, frame_index, now, frame_interval)
+
+        duration = num_frames * frame_interval
+        return [
+            RunResult(
+                system=session.client.name,
+                frames=session.metrics,
+                warmup_frames=self.warmup_frames,
+                offload_count=session.offload_count,
+                bytes_up=session.channel.bytes_up,
+                bytes_down=session.channel.bytes_down,
+                server_busy_ms=self.server.busy_ms_total,
+                duration_ms=duration,
+            )
+            for session in self.sessions
+        ]
+
+    # ------------------------------------------------------------------
+    def _step_session(self, session, frame_index, now, frame_interval) -> None:
+        frame, truth = session.video.frame_at(frame_index)
+
+        ready = [d for d in session.pending if d.arrive_ms <= now]
+        session.pending = [d for d in session.pending if d.arrive_ms > now]
+        for delivery in sorted(ready, key=lambda d: d.arrive_ms):
+            integration = session.client.receive_result(
+                delivery.frame_index, delivery.masks, now
+            )
+            session.busy_until_ms = max(session.busy_until_ms, now) + integration
+
+        offloaded = False
+        if session.busy_until_ms <= now:
+            output = session.client.process_frame(frame, truth, now)
+            session.busy_until_ms = now + output.compute_ms
+            session.last_masks = output.masks
+            latency = output.compute_ms
+            processed = True
+            if output.offload is not None:
+                offloaded = True
+                session.offload_count += 1
+                self._dispatch(session, output.offload, now + output.compute_ms)
+        else:
+            latency = (session.busy_until_ms - now) + frame_interval
+            processed = False
+
+        rendered = {m.instance_id: m for m in session.last_masks}
+        object_ious, object_areas = {}, {}
+        for gt in truth.masks:
+            if gt.area < self.min_gt_area:
+                continue
+            prediction = rendered.get(gt.instance_id)
+            object_ious[gt.instance_id] = (
+                mask_iou(prediction.mask, gt.mask) if prediction is not None else 0.0
+            )
+            object_areas[gt.instance_id] = gt.area
+        session.metrics.append(
+            FrameMetric(
+                frame_index=frame_index,
+                object_ious=object_ious,
+                object_areas=object_areas,
+                latency_ms=latency,
+                client_processed=processed,
+                offloaded=offloaded,
+                num_rendered=len(session.last_masks),
+            )
+        )
+
+    def _dispatch(self, session, request, send_time_ms) -> None:
+        frame, truth = session.video.frame_at(request.frame_index)
+        uplink = session.channel.uplink_ms(request.payload_bytes)
+        arrive = send_time_ms + request.encode_ms + uplink
+        completion, detections = self.server.submit(
+            request, truth.masks, frame.shape, arrive
+        )
+        downlink = session.channel.downlink_ms(
+            encoded_size_bytes(detections) + RESULT_HEADER_BYTES
+        )
+        session.pending.append(
+            _PendingDelivery(
+                arrive_ms=completion + downlink,
+                frame_index=request.frame_index,
+                masks=detections,
+            )
+        )

@@ -1,0 +1,97 @@
+"""Mobile resource and power models (Fig. 15 and Section VI-F2).
+
+CPU utilization is the fraction of each frame interval the client spends
+computing; memory follows the client's own estimate (dominated by the VO
+map and keyframe cache, which the map's clearing algorithm bounds); energy
+integrates a simple power model: a busy-CPU wattage plus camera/display
+floor plus per-byte radio cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DevicePowerProfile", "DEVICE_POWER", "ResourceTrace", "ResourceMonitor"]
+
+
+@dataclass(frozen=True)
+class DevicePowerProfile:
+    """Power constants of a phone-class device."""
+
+    name: str
+    battery_wh: float
+    idle_watts: float  # screen + camera + sensor floor while the app runs
+    cpu_busy_watts: float  # marginal cost of a saturated big core
+    radio_joules_per_mb: float
+
+
+DEVICE_POWER: dict[str, DevicePowerProfile] = {
+    "iphone_11": DevicePowerProfile("iphone_11", 11.9, 1.1, 2.4, 0.45),
+    "galaxy_s10": DevicePowerProfile("galaxy_s10", 13.1, 1.3, 3.0, 0.55),
+}
+
+
+@dataclass
+class ResourceTrace:
+    """Per-frame resource samples of one run."""
+
+    times_s: list[float] = field(default_factory=list)
+    cpu_fraction: list[float] = field(default_factory=list)
+    memory_bytes: list[int] = field(default_factory=list)
+    energy_joules: float = 0.0
+
+    def cpu_percent_mean(self) -> float:
+        return 100.0 * float(np.mean(self.cpu_fraction)) if self.cpu_fraction else 0.0
+
+    def memory_mb_series(self) -> np.ndarray:
+        return np.asarray(self.memory_bytes, dtype=float) / (1024 * 1024)
+
+    def memory_growth_mb_per_s(self) -> float:
+        """Linear-fit growth rate over the first half of the trace (before
+        the clearing algorithm kicks in)."""
+        if len(self.times_s) < 4:
+            return 0.0
+        half = max(len(self.times_s) // 2, 2)
+        times = np.asarray(self.times_s[:half])
+        memory = self.memory_mb_series()[:half]
+        slope = np.polyfit(times, memory, 1)[0]
+        return float(slope)
+
+    def battery_percent(self, profile: DevicePowerProfile) -> float:
+        capacity_j = profile.battery_wh * 3600.0
+        return 100.0 * self.energy_joules / capacity_j
+
+
+class ResourceMonitor:
+    """Accumulates a :class:`ResourceTrace` while a pipeline runs."""
+
+    def __init__(self, power: DevicePowerProfile, fps: float = 30.0):
+        self.power = power
+        self.fps = fps
+        self.trace = ResourceTrace()
+
+    def sample(
+        self, frame_index: int, compute_ms: float, memory_bytes: int, bytes_sent: int
+    ) -> None:
+        interval_ms = 1000.0 / self.fps
+        busy = min(compute_ms / interval_ms, 1.0)
+        self.trace.times_s.append(frame_index / self.fps)
+        self.trace.cpu_fraction.append(busy)
+        self.trace.memory_bytes.append(int(memory_bytes))
+        interval_s = interval_ms / 1000.0
+        self.trace.energy_joules += (
+            self.power.idle_watts * interval_s
+            + self.power.cpu_busy_watts * busy * interval_s
+            + self.power.radio_joules_per_mb * bytes_sent / 1e6
+        )
+
+    def extrapolate_battery_percent(self, minutes: float) -> float:
+        """Battery drain over ``minutes`` at the observed average power."""
+        if not self.trace.times_s:
+            return 0.0
+        observed_s = max(self.trace.times_s[-1], 1e-9)
+        average_watts = self.trace.energy_joules / observed_s
+        capacity_j = self.power.battery_wh * 3600.0
+        return 100.0 * average_watts * minutes * 60.0 / capacity_j

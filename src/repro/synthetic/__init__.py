@@ -1,0 +1,58 @@
+"""Synthetic world substrate: textured 3-D scenes, camera trajectories and
+a z-buffer renderer producing frames with pixel-perfect ground truth.
+
+Substitutes for the paper's DAVIS/KITTI/Xiph/self-labeled datasets (see
+DESIGN.md section 2 for the substitution rationale)."""
+
+from .objects import (
+    LinearMotion,
+    MotionModel,
+    OrbitMotion,
+    ProceduralTexture,
+    SceneObject,
+    StaticMotion,
+    TriangleMesh,
+    WaypointMotion,
+    make_box_mesh,
+    make_cylinder_mesh,
+    make_plane_mesh,
+)
+from .renderer import Renderer, RenderResult
+from .trajectory import MOTION_PRESETS, CameraTrajectory, OrbitTrajectory, WalkTrajectory
+from .world import FeatureSite, GroundTruth, SyntheticVideo, World
+from .datasets import (
+    COMPLEXITY_LEVELS,
+    DATASET_NAMES,
+    default_camera,
+    make_complexity_scene,
+    make_dataset,
+)
+
+__all__ = [
+    "LinearMotion",
+    "MotionModel",
+    "OrbitMotion",
+    "ProceduralTexture",
+    "SceneObject",
+    "StaticMotion",
+    "TriangleMesh",
+    "WaypointMotion",
+    "make_box_mesh",
+    "make_cylinder_mesh",
+    "make_plane_mesh",
+    "Renderer",
+    "RenderResult",
+    "MOTION_PRESETS",
+    "CameraTrajectory",
+    "OrbitTrajectory",
+    "WalkTrajectory",
+    "FeatureSite",
+    "GroundTruth",
+    "SyntheticVideo",
+    "World",
+    "COMPLEXITY_LEVELS",
+    "DATASET_NAMES",
+    "default_camera",
+    "make_complexity_scene",
+    "make_dataset",
+]

@@ -1,0 +1,210 @@
+"""Z-buffer software renderer.
+
+Produces, for each requested camera pose and time, the three rasters the
+rest of the system consumes:
+
+* an RGB frame (the "camera image"),
+* a pixel-perfect instance-id map (the ground-truth segmentation the
+  paper's IoU metric needs),
+* a depth map (used for oracle feature visibility checks).
+
+Triangle rasterization uses perspective-correct barycentric interpolation
+and Sutherland-Hodgman clipping against the near plane, all vectorized per
+triangle with numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.camera import PinholeCamera
+from ..geometry.se3 import SE3
+from ..image.frame import VideoFrame
+from .objects import SceneObject
+
+__all__ = ["RenderResult", "Renderer"]
+
+_NEAR_PLANE = 0.05
+
+
+@dataclass
+class RenderResult:
+    """Everything the simulator knows about one rendered frame."""
+
+    frame: VideoFrame
+    label_map: np.ndarray  # (H, W) int32 instance ids, 0 = background
+    depth: np.ndarray  # (H, W) float32, inf where nothing was drawn
+    pose_cw: SE3
+    object_poses_wo: dict[int, SE3]
+    time: float
+
+    def instance_mask(self, instance_id: int) -> np.ndarray:
+        return self.label_map == instance_id
+
+    @property
+    def visible_instance_ids(self) -> list[int]:
+        ids = np.unique(self.label_map)
+        return [int(i) for i in ids if i != 0]
+
+
+def _clip_polygon_near(
+    points_camera: np.ndarray, uvs: np.ndarray, near: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sutherland-Hodgman clip of a polygon against the z=near plane.
+
+    Interpolates UVs along clipped edges.  Returns possibly-empty arrays.
+    """
+    output_points: list[np.ndarray] = []
+    output_uvs: list[np.ndarray] = []
+    count = len(points_camera)
+    for i in range(count):
+        current, current_uv = points_camera[i], uvs[i]
+        nxt, next_uv = points_camera[(i + 1) % count], uvs[(i + 1) % count]
+        current_in = current[2] >= near
+        next_in = nxt[2] >= near
+        if current_in:
+            output_points.append(current)
+            output_uvs.append(current_uv)
+        if current_in != next_in:
+            t = (near - current[2]) / (nxt[2] - current[2])
+            output_points.append(current + t * (nxt - current))
+            output_uvs.append(current_uv + t * (next_uv - current_uv))
+    if not output_points:
+        return np.zeros((0, 3)), np.zeros((0, 2))
+    return np.asarray(output_points), np.asarray(output_uvs)
+
+
+class Renderer:
+    """Renders a list of :class:`SceneObject` through a pinhole camera."""
+
+    def __init__(self, camera: PinholeCamera, objects: list[SceneObject]):
+        self.camera = camera
+        self.objects = objects
+
+    def render(self, pose_cw: SE3, time: float, frame_index: int = 0) -> RenderResult:
+        height, width = self.camera.height, self.camera.width
+        color = np.full((height, width, 3), 110.0, dtype=np.float32)  # sky/haze
+        depth = np.full((height, width), np.inf, dtype=np.float32)
+        label_map = np.zeros((height, width), dtype=np.int32)
+
+        object_poses: dict[int, SE3] = {}
+        for scene_object in self.objects:
+            pose_wo = scene_object.pose_wo(time)
+            if not scene_object.is_background:
+                object_poses[scene_object.instance_id] = pose_wo
+            pose_co = pose_cw @ pose_wo  # object -> camera
+            self._draw_object(scene_object, pose_co, color, depth, label_map)
+
+        image = np.clip(color, 0.0, 255.0).astype(np.uint8)
+        return RenderResult(
+            frame=VideoFrame(index=frame_index, timestamp=time, image=image),
+            label_map=label_map,
+            depth=depth,
+            pose_cw=pose_cw,
+            object_poses_wo=object_poses,
+            time=time,
+        )
+
+    # ------------------------------------------------------------------
+    def _draw_object(
+        self,
+        scene_object: SceneObject,
+        pose_co: SE3,
+        color: np.ndarray,
+        depth: np.ndarray,
+        label_map: np.ndarray,
+    ) -> None:
+        mesh = scene_object.mesh
+        vertices_camera = pose_co.transform(mesh.vertices)
+        # Per-face Lambert-ish shading from the camera-frame normal gives
+        # faces distinct brightness, like real diffuse lighting.
+        for face_index in range(mesh.num_faces):
+            tri_camera = vertices_camera[mesh.faces[face_index]]
+            if (tri_camera[:, 2] < _NEAR_PLANE).all():
+                continue
+            tri_uv = mesh.face_uvs[face_index]
+            if (tri_camera[:, 2] < _NEAR_PLANE).any():
+                tri_camera, tri_uv = _clip_polygon_near(tri_camera, tri_uv, _NEAR_PLANE)
+                if len(tri_camera) < 3:
+                    continue
+            normal = np.cross(tri_camera[1] - tri_camera[0], tri_camera[2] - tri_camera[0])
+            norm = np.linalg.norm(normal)
+            shade = 0.65 + 0.35 * abs(normal[2]) / max(norm, 1e-12)
+            # Fan-triangulate the clipped polygon.
+            for k in range(1, len(tri_camera) - 1):
+                self._raster_triangle(
+                    tri_camera[[0, k, k + 1]],
+                    tri_uv[[0, k, k + 1]],
+                    scene_object,
+                    shade,
+                    color,
+                    depth,
+                    label_map,
+                )
+
+    def _raster_triangle(
+        self,
+        tri_camera: np.ndarray,
+        tri_uv: np.ndarray,
+        scene_object: SceneObject,
+        shade: float,
+        color: np.ndarray,
+        depth: np.ndarray,
+        label_map: np.ndarray,
+    ) -> None:
+        camera = self.camera
+        pixels, z = camera.project(tri_camera)
+        x0 = max(int(np.floor(pixels[:, 0].min())), 0)
+        x1 = min(int(np.ceil(pixels[:, 0].max())) + 1, camera.width)
+        y0 = max(int(np.floor(pixels[:, 1].min())), 0)
+        y1 = min(int(np.ceil(pixels[:, 1].max())) + 1, camera.height)
+        if x1 <= x0 or y1 <= y0:
+            return
+
+        ax, ay = pixels[0]
+        bx, by = pixels[1]
+        cx, cy = pixels[2]
+        area = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+        if abs(area) < 1e-9:
+            return
+
+        xs = np.arange(x0, x1) + 0.5
+        ys = np.arange(y0, y1) + 0.5
+        grid_x, grid_y = np.meshgrid(xs, ys)
+
+        # Barycentric weights: compute two by signed sub-areas, infer the third.
+        w_c = ((bx - ax) * (grid_y - ay) - (by - ay) * (grid_x - ax)) / area
+        w_b = ((grid_x - ax) * (cy - ay) - (grid_y - ay) * (cx - ax)) / area
+        w_a = 1.0 - w_b - w_c
+        inside = (w_a >= -1e-9) & (w_b >= -1e-9) & (w_c >= -1e-9)
+        if not inside.any():
+            return
+
+        inv_z = w_a * (1.0 / z[0]) + w_b * (1.0 / z[1]) + w_c * (1.0 / z[2])
+        pixel_z = 1.0 / np.maximum(inv_z, 1e-12)
+
+        region_depth = depth[y0:y1, x0:x1]
+        closer = inside & (pixel_z < region_depth) & (pixel_z > _NEAR_PLANE)
+        if not closer.any():
+            return
+
+        # Perspective-correct UV interpolation.
+        u_over_z = (
+            w_a * (tri_uv[0, 0] / z[0])
+            + w_b * (tri_uv[1, 0] / z[1])
+            + w_c * (tri_uv[2, 0] / z[2])
+        )
+        v_over_z = (
+            w_a * (tri_uv[0, 1] / z[0])
+            + w_b * (tri_uv[1, 1] / z[1])
+            + w_c * (tri_uv[2, 1] / z[2])
+        )
+        u = u_over_z[closer] * pixel_z[closer]
+        v = v_over_z[closer] * pixel_z[closer]
+        texel = scene_object.texture.sample(u, v) * shade
+
+        region_depth[closer] = pixel_z[closer]
+        color[y0:y1, x0:x1][closer] = texel
+        label_map[y0:y1, x0:x1][closer] = scene_object.instance_id

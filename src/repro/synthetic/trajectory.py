@@ -1,0 +1,126 @@
+"""Camera trajectories for the mobile device.
+
+The robustness study (Fig. 12) records "videos of the same route with
+people walking, striding and jogging"; :class:`WalkTrajectory` models
+exactly that — a piecewise-linear route walked at a configurable speed
+with speed-proportional handheld sway and bob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.se3 import SE3
+
+__all__ = ["CameraTrajectory", "WalkTrajectory", "OrbitTrajectory", "MOTION_PRESETS"]
+
+# Speed multiplier and sway amplitude for the Fig. 12 motion grades.
+MOTION_PRESETS: dict[str, dict[str, float]] = {
+    "walk": {"speed_scale": 1.0, "sway": 0.01, "bob_hz": 1.6},
+    "stride": {"speed_scale": 2.0, "sway": 0.025, "bob_hz": 2.2},
+    "jog": {"speed_scale": 3.5, "sway": 0.055, "bob_hz": 3.0},
+}
+
+
+class CameraTrajectory:
+    """Base interface: camera-from-world pose at time ``t``."""
+
+    def pose_cw(self, t: float) -> SE3:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class WalkTrajectory(CameraTrajectory):
+    """A person carrying the device along a route of waypoints.
+
+    The camera looks toward a point ahead on the route (or a fixed target)
+    and sways laterally/vertically as the carrier moves.
+    """
+
+    def __init__(
+        self,
+        waypoints: np.ndarray,
+        speed: float = 0.8,
+        look_target: np.ndarray | None = None,
+        motion_grade: str = "walk",
+        look_ahead: float = 3.0,
+    ):
+        self.waypoints = np.asarray(waypoints, dtype=float).reshape(-1, 3)
+        if len(self.waypoints) < 2:
+            raise ValueError("WalkTrajectory needs >= 2 waypoints")
+        preset = MOTION_PRESETS.get(motion_grade)
+        if preset is None:
+            raise ValueError(
+                f"unknown motion grade {motion_grade!r}; pick from {sorted(MOTION_PRESETS)}"
+            )
+        self.speed = speed * preset["speed_scale"]
+        self.sway = preset["sway"]
+        self.bob_hz = preset["bob_hz"]
+        self.look_target = (
+            None if look_target is None else np.asarray(look_target, dtype=float)
+        )
+        self.look_ahead = look_ahead
+        segments = np.diff(self.waypoints, axis=0)
+        self._segment_lengths = np.linalg.norm(segments, axis=1)
+        self._cumulative = np.concatenate([[0.0], np.cumsum(self._segment_lengths)])
+
+    @property
+    def total_length(self) -> float:
+        return float(self._cumulative[-1])
+
+    def _position_at_arclength(self, s: float) -> np.ndarray:
+        s = float(np.clip(s, 0.0, self.total_length))
+        index = int(np.searchsorted(self._cumulative, s, side="right") - 1)
+        index = min(index, len(self._segment_lengths) - 1)
+        local = (s - self._cumulative[index]) / max(self._segment_lengths[index], 1e-12)
+        return (1 - local) * self.waypoints[index] + local * self.waypoints[index + 1]
+
+    def pose_cw(self, t: float) -> SE3:
+        s = self.speed * t
+        position = self._position_at_arclength(s)
+        # Handheld shake grows with motion grade.
+        phase = 2 * np.pi * self.bob_hz * t
+        position = position + np.array(
+            [
+                self.sway * np.sin(phase),
+                self.sway * 0.6 * np.sin(2.1 * phase + 0.7),
+                self.sway * np.cos(0.9 * phase),
+            ]
+        )
+        if self.look_target is not None:
+            target = self.look_target
+        else:
+            target = self._position_at_arclength(s + self.look_ahead)
+            if np.linalg.norm(target - position) < 0.2:
+                # End of route: keep the last heading.
+                direction = self.waypoints[-1] - self.waypoints[-2]
+                target = position + direction / max(np.linalg.norm(direction), 1e-9)
+        return SE3.look_at(position, target)
+
+
+class OrbitTrajectory(CameraTrajectory):
+    """Camera orbiting a fixed point at constant height, always facing it."""
+
+    def __init__(
+        self,
+        center: np.ndarray,
+        radius: float,
+        height: float,
+        angular_speed: float = 0.15,
+        phase: float = 0.0,
+    ):
+        self.center = np.asarray(center, dtype=float).reshape(3)
+        self.radius = radius
+        self.height = height
+        self.angular_speed = angular_speed
+        self.phase = phase
+
+    def pose_cw(self, t: float) -> SE3:
+        angle = self.phase + self.angular_speed * t
+        eye = self.center + np.array(
+            [
+                self.radius * np.cos(angle),
+                self.height,
+                self.radius * np.sin(angle),
+            ]
+        )
+        return SE3.look_at(eye, self.center)

@@ -1,0 +1,5 @@
+"""Motion Aware Mobile Mask Transfer (MAMT) — paper Section III-C."""
+
+from .mask_transfer import MaskTransferEngine, TransferConfig, TransferredMask
+
+__all__ = ["MaskTransferEngine", "TransferConfig", "TransferredMask"]

@@ -1,0 +1,181 @@
+"""Motion Aware Mobile Mask Transfer (MAMT, paper Section III-C).
+
+Given the VO state (device pose, per-object poses, labeled map) and the
+cached keyframe segmentations, predict the instance masks of the current
+frame without any DL inference:
+
+1. **Source frame selection** — for each object visible now, pick the
+   keyframe that has a mask for it, observes enough of its points and has
+   the smallest viewing-angle difference from the current pose.
+2. **Contour depth estimation** — extract the mask contour on the source
+   frame (``findContours`` equivalent), and give each contour pixel the
+   average depth of its k=5 nearest labeled features in that frame (the
+   paper's small-neighbourhood depth-smoothness observation).
+3. **Reprojection** — back-project contour pixels into the source camera,
+   move them through the camera-from-object relative transform (which
+   absorbs both device *and* object motion), project into the current
+   frame and scan-fill the resulting contour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..geometry.camera import PinholeCamera
+from ..image.contours import fill_contour, largest_contour, resample_contour
+from ..image.masks import InstanceMask
+from ..vo.map import KeyframeRecord
+from ..vo.odometry import VisualOdometry
+
+__all__ = ["TransferConfig", "TransferredMask", "MaskTransferEngine"]
+
+K_NEAREST_FEATURES = 5  # the paper's empirical k
+
+
+@dataclass
+class TransferConfig:
+    """Tunables for mask transfer."""
+
+    k_nearest: int = K_NEAREST_FEATURES
+    max_contour_points: int = 192
+    max_view_angle_deg: float = 45.0
+    min_object_features: int = 3
+    min_mask_area: int = 12
+
+
+@dataclass
+class TransferredMask:
+    """A predicted instance mask with provenance."""
+
+    mask: InstanceMask
+    source_frame_index: int
+    view_angle_deg: float
+
+
+class MaskTransferEngine:
+    """Computes current-frame masks from cached keyframe segmentations."""
+
+    def __init__(self, camera: PinholeCamera, config: TransferConfig | None = None):
+        self.camera = camera
+        self.config = config or TransferConfig()
+
+    # ------------------------------------------------------------------
+    def predict(self, vo: VisualOdometry) -> list[TransferredMask]:
+        """Predict masks for the VO's current frame."""
+        if vo.pose_cw is None:
+            return []
+        predictions: list[TransferredMask] = []
+        for instance_id, track in vo.objects.items():
+            source = self._select_source(vo, instance_id)
+            if source is None:
+                continue
+            record, view_angle = source
+            transferred = self._transfer_one(vo, record, instance_id)
+            if transferred is None:
+                continue
+            if transferred.sum() < self.config.min_mask_area:
+                continue
+            predictions.append(
+                TransferredMask(
+                    mask=InstanceMask(
+                        instance_id=instance_id,
+                        class_label=track.class_label,
+                        mask=transferred,
+                        score=1.0,
+                    ),
+                    source_frame_index=record.frame_index,
+                    view_angle_deg=view_angle,
+                )
+            )
+        return predictions
+
+    # ------------------------------------------------------------------
+    # Source frame selection (III-C, first problem)
+    # ------------------------------------------------------------------
+    def _select_source(
+        self, vo: VisualOdometry, instance_id: int
+    ) -> tuple[KeyframeRecord, float] | None:
+        track = vo.objects[instance_id]
+        current_pose_co = track.pose_co(vo.pose_cw)
+        best: tuple[KeyframeRecord, float] | None = None
+        for record in vo.map.keyframes_with_masks():
+            mask = record.mask_for(instance_id)
+            if mask is None or mask.is_empty:
+                continue
+            source_pose_co = record.object_poses_co.get(instance_id)
+            if source_pose_co is None:
+                continue
+            angle = np.degrees(source_pose_co.rotation_angle_to(current_pose_co))
+            if angle > self.config.max_view_angle_deg:
+                continue
+            # Among keyframes within the viewing-angle budget, prefer the
+            # newest: pose estimates are only locally consistent (a lost /
+            # relocalize episode shifts the frame of reference slightly),
+            # so staleness costs more accuracy than a few extra degrees.
+            if best is None or record.frame_index > best[0].frame_index:
+                best = (record, angle)
+        if best is None:
+            return None
+        return best
+
+    # ------------------------------------------------------------------
+    # Contour transfer (III-C, second problem)
+    # ------------------------------------------------------------------
+    def _transfer_one(
+        self, vo: VisualOdometry, record: KeyframeRecord, instance_id: int
+    ) -> np.ndarray | None:
+        mask = record.mask_for(instance_id)
+        assert mask is not None
+        track = vo.objects[instance_id]
+        source_pose_co = record.object_poses_co[instance_id]
+        current_pose_co = track.pose_co(vo.pose_cw)
+        # Relative motion in the object's frame absorbs object movement.
+        relative = current_pose_co @ source_pose_co.inverse()
+
+        # Depth sources: the object's map points as seen from the source
+        # keyframe (positions are stored in the object frame).
+        object_points = [
+            p for p in vo.map.points if p.label == instance_id
+        ]
+        if len(object_points) < self.config.min_object_features:
+            return None
+        positions_object = np.array([p.position for p in object_points])
+        points_source_cam = source_pose_co.transform(positions_object)
+        depths = points_source_cam[:, 2]
+        in_front = depths > 1e-3
+        if in_front.sum() < self.config.min_object_features:
+            return None
+        points_source_cam = points_source_cam[in_front]
+        depths = depths[in_front]
+        feature_pixels, _ = self.camera.project(points_source_cam)
+
+        contour = largest_contour(mask.mask)
+        if contour is None:
+            return None
+        contour = resample_contour(contour, self.config.max_contour_points)
+        # Contour is (row, col); features are (u, v) = (col, row).
+        contour_uv = contour[:, ::-1]
+
+        tree = cKDTree(feature_pixels)
+        k = min(self.config.k_nearest, len(feature_pixels))
+        _, neighbor_indices = tree.query(contour_uv, k=k)
+        if k == 1:
+            neighbor_indices = neighbor_indices[:, None]
+        contour_depths = depths[neighbor_indices].mean(axis=1)
+
+        # Back-project, move, re-project.
+        points_cam_source = self.camera.backproject(contour_uv, contour_depths)
+        points_cam_current = relative.transform(points_cam_source)
+        projected, proj_depths = self.camera.project(points_cam_current)
+        visible = proj_depths > 1e-3
+        if visible.sum() < 3:
+            return None
+        projected = projected[visible]
+        # fill_contour takes (row, col) points.
+        new_mask = fill_contour(
+            projected[:, ::-1], (self.camera.height, self.camera.width)
+        )
+        return new_mask

@@ -1,0 +1,21 @@
+"""Visual odometry substrate: labeled 3-D map, feature frontends and the
+motion-aware tracker with per-object pose estimation (paper Section III)."""
+
+from .map import BACKGROUND, KeyframeRecord, LabeledMap, MapPoint
+from .frontend import FastBriefFrontend, Observation, OracleFrontend
+from .odometry import ObjectTrack, TrackingResult, VisualOdometry, VOConfig, VOState
+
+__all__ = [
+    "BACKGROUND",
+    "KeyframeRecord",
+    "LabeledMap",
+    "MapPoint",
+    "FastBriefFrontend",
+    "Observation",
+    "OracleFrontend",
+    "ObjectTrack",
+    "TrackingResult",
+    "VisualOdometry",
+    "VOConfig",
+    "VOState",
+]

@@ -1,0 +1,255 @@
+"""The labeled 3-D map.
+
+Unlike a vanilla SLAM map, every point in edgeIS's map carries an instance
+annotation (Section III-A): ``label is None`` means the point has not been
+covered by any segmentation result yet ("unlabeled", the yellow points of
+Fig. 8b), ``label == 0`` means confirmed background, and ``label > 0``
+names the object instance the point belongs to.
+
+Points belonging to an object are stored in that *object's* frame, anchored
+to the object pose at its first observation.  Background points live in the
+world frame.  This is what lets the tracker solve the device pose relative
+to each object independently (Eq. 6-7) and keeps moving-object points
+consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry.se3 import SE3
+from ..image.masks import InstanceMask
+
+__all__ = ["MapPoint", "KeyframeRecord", "LabeledMap"]
+
+BACKGROUND = 0
+
+
+@dataclass
+class MapPoint:
+    """One triangulated 3-D point with an instance annotation.
+
+    ``first_observation``/``last_observation`` hold ``(pose_cw, pixel)``
+    pairs used for structure refinement: as the baseline between them
+    grows, the point is re-triangulated with better parallax
+    (``parallax_quality_deg`` records the best parallax achieved so far).
+    """
+
+    point_id: int
+    position: np.ndarray  # world frame if label in (None, 0); object frame otherwise
+    descriptor: np.ndarray  # (32,) uint8
+    label: int | None = None  # None = unlabeled, 0 = background, >0 = instance
+    class_label: str = "unknown"
+    first_frame: int = 0
+    last_seen_frame: int = 0
+    observation_count: int = 1
+    first_observation: tuple[SE3, np.ndarray] | None = None
+    last_observation: tuple[SE3, np.ndarray] | None = None
+    parallax_quality_deg: float = 0.0
+    outlier_count: int = 0  # times this point failed the pose-inlier test
+
+    @property
+    def is_unlabeled(self) -> bool:
+        return self.label is None
+
+    @property
+    def is_background(self) -> bool:
+        return self.label == BACKGROUND
+
+    @property
+    def is_object(self) -> bool:
+        return self.label is not None and self.label > 0
+
+
+@dataclass
+class KeyframeRecord:
+    """A frame whose observations the map remembers.
+
+    ``point_ids[i]`` is the map point matched to ``pixels[i]`` (or -1 for
+    features that matched nothing).  ``masks`` arrives asynchronously when
+    the edge returns the frame's segmentation; ``None`` until then.
+    """
+
+    frame_index: int
+    timestamp: float
+    pose_cw: SE3
+    pixels: np.ndarray  # (N, 2) feature pixels
+    point_ids: np.ndarray  # (N,) int
+    masks: list[InstanceMask] | None = None
+    object_poses_co: dict[int, SE3] = field(default_factory=dict)
+
+    @property
+    def has_masks(self) -> bool:
+        return self.masks is not None
+
+    def mask_for(self, instance_id: int) -> InstanceMask | None:
+        if self.masks is None:
+            return None
+        for mask in self.masks:
+            if mask.instance_id == instance_id:
+                return mask
+        return None
+
+
+class LabeledMap:
+    """Point registry + keyframe registry with label bookkeeping."""
+
+    def __init__(self, max_points: int = 4000, cull_after_frames: int = 90):
+        self.max_points = max_points
+        self.cull_after_frames = cull_after_frames
+        self._points: dict[int, MapPoint] = {}
+        self._keyframes: dict[int, KeyframeRecord] = {}
+        self._next_point_id = 0
+
+    # ------------------------------------------------------------------
+    # Points
+    # ------------------------------------------------------------------
+    def add_point(
+        self,
+        position: np.ndarray,
+        descriptor: np.ndarray,
+        label: int | None = None,
+        class_label: str = "unknown",
+        frame_index: int = 0,
+    ) -> MapPoint:
+        point = MapPoint(
+            point_id=self._next_point_id,
+            position=np.asarray(position, dtype=float).copy(),
+            descriptor=np.asarray(descriptor, dtype=np.uint8).copy(),
+            label=label,
+            class_label=class_label,
+            first_frame=frame_index,
+            last_seen_frame=frame_index,
+        )
+        self._points[point.point_id] = point
+        self._next_point_id += 1
+        return point
+
+    def get(self, point_id: int) -> MapPoint:
+        return self._points[point_id]
+
+    def __contains__(self, point_id: int) -> bool:
+        return point_id in self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> list[MapPoint]:
+        return list(self._points.values())
+
+    def points_with_label(self, label: int | None) -> list[MapPoint]:
+        return [p for p in self._points.values() if p.label == label]
+
+    def object_labels(self) -> list[int]:
+        labels = {p.label for p in self._points.values() if p.is_object}
+        return sorted(labels)
+
+    def descriptor_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """(point_ids, (N, 32) descriptor stack) over all live points."""
+        if not self._points:
+            return np.zeros(0, dtype=int), np.zeros((0, 32), dtype=np.uint8)
+        ids = np.fromiter(self._points.keys(), dtype=int, count=len(self._points))
+        descriptors = np.stack([self._points[i].descriptor for i in ids])
+        return ids, descriptors
+
+    def touch(self, point_id: int, frame_index: int) -> None:
+        point = self._points[point_id]
+        point.last_seen_frame = max(point.last_seen_frame, frame_index)
+        point.observation_count += 1
+
+    def relabel(self, point_id: int, label: int, class_label: str) -> None:
+        point = self._points[point_id]
+        point.label = label
+        point.class_label = class_label
+
+    def unlabeled_fraction(self) -> float:
+        if not self._points:
+            return 1.0
+        unlabeled = sum(1 for p in self._points.values() if p.is_unlabeled)
+        return unlabeled / len(self._points)
+
+    # ------------------------------------------------------------------
+    # Keyframes
+    # ------------------------------------------------------------------
+    def add_keyframe(self, record: KeyframeRecord) -> None:
+        self._keyframes[record.frame_index] = record
+
+    def keyframe(self, frame_index: int) -> KeyframeRecord | None:
+        return self._keyframes.get(frame_index)
+
+    @property
+    def keyframes(self) -> list[KeyframeRecord]:
+        return [self._keyframes[k] for k in sorted(self._keyframes)]
+
+    def keyframes_with_masks(self) -> list[KeyframeRecord]:
+        return [k for k in self.keyframes if k.has_masks]
+
+    # ------------------------------------------------------------------
+    # Memory management (the paper's "additional clearing algorithm",
+    # Section VI-F1: periodically clear data of low utilization).
+    # ------------------------------------------------------------------
+    def cull(self, current_frame: int) -> int:
+        """Drop stale points and overflow beyond ``max_points``.
+
+        Returns the number of points removed.  Keyframes older than the
+        oldest retained point's first frame are dropped too, except
+        keyframes that still hold the freshest mask of some instance.
+        """
+        removed = 0
+        stale_cutoff = current_frame - self.cull_after_frames
+        for point_id in [
+            pid
+            for pid, point in self._points.items()
+            if point.last_seen_frame < stale_cutoff
+            # Chronic outliers (ghost points from a bad pose episode or
+            # duplicate triangulations) get flushed once the evidence is in.
+            or (
+                point.observation_count >= 6
+                and point.outlier_count > 0.6 * point.observation_count
+            )
+        ]:
+            del self._points[point_id]
+            removed += 1
+
+        if len(self._points) > self.max_points:
+            # Evict least-recently-seen, least-observed first.
+            ranked = sorted(
+                self._points.values(),
+                key=lambda p: (p.last_seen_frame, p.observation_count),
+            )
+            overflow = len(self._points) - self.max_points
+            for point in ranked[:overflow]:
+                del self._points[point.point_id]
+                removed += 1
+
+        self._cull_keyframes(current_frame)
+        return removed
+
+    def _cull_keyframes(self, current_frame: int) -> None:
+        # Keep the newest masked keyframe per instance, plus anything recent.
+        keep: set[int] = set()
+        newest_mask_frame: dict[int, int] = {}
+        for record in self.keyframes:
+            if record.masks is None:
+                continue
+            for mask in record.masks:
+                if record.frame_index >= newest_mask_frame.get(mask.instance_id, -1):
+                    newest_mask_frame[mask.instance_id] = record.frame_index
+        keep.update(newest_mask_frame.values())
+        recent_cutoff = current_frame - 2 * self.cull_after_frames
+        for frame_index in list(self._keyframes):
+            if frame_index < recent_cutoff and frame_index not in keep:
+                del self._keyframes[frame_index]
+
+    def memory_bytes(self) -> int:
+        """Rough live-memory estimate for the resource model (Fig. 15)."""
+        point_bytes = len(self._points) * (3 * 8 + 32 + 64)
+        keyframe_bytes = 0
+        for record in self._keyframes.values():
+            keyframe_bytes += record.pixels.nbytes + record.point_ids.nbytes + 256
+            if record.masks:
+                keyframe_bytes += sum(m.mask.size // 8 for m in record.masks)
+        return point_bytes + keyframe_bytes

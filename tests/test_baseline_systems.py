@@ -1,0 +1,117 @@
+"""Unit tests for the baseline client systems (offload policies, encoding
+profiles, result integration)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BestEffortEdgeClient,
+    EAARClient,
+    EdgeDuetClient,
+    MobileOnlyClient,
+)
+from repro.encoding.tiles import TileQuality
+from repro.image import InstanceMask
+from repro.synthetic import make_dataset
+
+
+@pytest.fixture(scope="module")
+def scene():
+    video = make_dataset("xiph_like", num_frames=4, resolution=(160, 120))
+    frame, truth = video.frame_at(0)
+    return video, frame, truth
+
+
+class TestMobileOnly:
+    def test_seconds_per_frame(self, scene):
+        _, frame, truth = scene
+        client = MobileOnlyClient(np.random.default_rng(0))
+        output = client.process_frame(frame, truth, 0.0)
+        assert output.compute_ms > 2000  # TFLite-class latency
+        assert output.offload is None
+        assert len(output.masks) >= 1
+
+    def test_never_offloads(self, scene):
+        client = MobileOnlyClient(np.random.default_rng(0))
+        assert client.receive_result(0, [], 0.0) == 0.0
+
+
+class TestBestEffort:
+    def test_saturates_then_waits(self, scene):
+        _, frame, truth = scene
+        client = BestEffortEdgeClient((120, 160))
+        sent = 0
+        for _ in range(6):
+            output = client.process_frame(frame, truth, 0.0)
+            if output.offload is not None:
+                sent += 1
+        assert sent == client.max_outstanding
+        client.receive_result(0, [], 0.0)
+        assert client.process_frame(frame, truth, 0.0).offload is not None
+
+    def test_renders_raw_results(self, scene):
+        _, frame, truth = scene
+        client = BestEffortEdgeClient((120, 160))
+        mask = InstanceMask(1, "x", np.zeros((120, 160), bool))
+        client.receive_result(0, [mask], 0.0)
+        output = client.process_frame(frame, truth, 33.0)
+        assert output.masks == [mask]
+
+    def test_sends_full_quality(self, scene):
+        _, frame, truth = scene
+        client = BestEffortEdgeClient((120, 160))
+        output = client.process_frame(frame, truth, 0.0)
+        assert output.offload is not None
+        assert output.offload.encoded.quality_fraction(TileQuality.HIGH) == 1.0
+        assert output.offload.instructions is None
+
+
+class TestEAAREncoding:
+    def test_objects_high_background_medium(self, scene):
+        _, frame, truth = scene
+        client = EAARClient((120, 160))
+        client.tracker.reset(truth.masks, frame.gray)
+        output = client.process_frame(frame, truth, 0.0)
+        encoded = output.offload.encoded
+        assert encoded.quality_fraction(TileQuality.HIGH) > 0.0
+        assert encoded.quality_fraction(TileQuality.MEDIUM) > 0.3
+        assert encoded.quality_fraction(TileQuality.LOW) == 0.0
+
+    def test_one_in_flight(self, scene):
+        _, frame, truth = scene
+        client = EAARClient((120, 160))
+        first = client.process_frame(frame, truth, 0.0)
+        second = client.process_frame(frame, truth, 33.0)
+        assert first.offload is not None and second.offload is None
+
+
+class TestEdgeDuetEncoding:
+    def test_large_objects_low_quality(self, scene):
+        _, frame, truth = scene
+        client = EdgeDuetClient((120, 160))
+        big = InstanceMask(1, "crate", np.zeros((120, 160), bool))
+        big.mask[10:90, 10:120] = True  # area >> small_object_area
+        small = InstanceMask(2, "cup", np.zeros((120, 160), bool))
+        small.mask[100:112, 100:115] = True
+        encoded = client._encode(frame, frame.gray, [big, small])
+        # The big object's tiles stay LOW; the small one's go HIGH.
+        assert encoded.fidelity_for_box(big.box) < encoded.fidelity_for_box(small.box)
+
+    def test_tracker_is_correlation_filter(self, scene):
+        from repro.baselines import MosseTracker
+
+        client = EdgeDuetClient((120, 160))
+        assert isinstance(client.tracker, MosseTracker)
+
+    def test_higher_compute_cost_than_eaar(self):
+        # Fig. 11: EdgeDuet's correlation tracking costs more per frame
+        # than EAAR's motion vectors (49 ms vs 41 ms) at equal object count.
+        for objects in (2, 4, 6):
+            eaar_cost = (
+                EAARClient.tracker_base_ms + EAARClient.tracker_per_object_ms * objects
+            )
+            duet_cost = (
+                EdgeDuetClient.tracker_base_ms
+                + EdgeDuetClient.tracker_per_object_ms * objects
+            )
+            assert duet_cost > eaar_cost

@@ -1,0 +1,125 @@
+"""Tests for the baseline local trackers (motion vector, MOSSE)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    MosseTracker,
+    MotionVectorTracker,
+    block_match_shift,
+    shift_mask,
+)
+from repro.image import InstanceMask, mask_iou
+
+
+def textured_scene(shape=(120, 160), seed=0):
+    rng = np.random.default_rng(seed)
+    image = np.full(shape, 120.0, dtype=np.float32)
+    rr, cc = np.mgrid[0 : shape[0], 0 : shape[1]]
+    for _ in range(60):
+        r, c = rng.integers(5, shape[0] - 5), rng.integers(5, shape[1] - 5)
+        radius = rng.integers(2, 4)
+        image[(rr - r) ** 2 + (cc - c) ** 2 <= radius**2] = float(
+            rng.choice([20, 240])
+        )
+    return image
+
+
+class TestShiftMask:
+    def test_shift_moves_pixels(self):
+        mask = np.zeros((10, 10), bool)
+        mask[4, 4] = True
+        shifted = shift_mask(mask, 2, -1)
+        assert shifted[6, 3]
+        assert shifted.sum() == 1
+
+    def test_shift_clips_at_border(self):
+        mask = np.ones((5, 5), bool)
+        shifted = shift_mask(mask, 3, 3)
+        assert shifted.sum() == 4  # only the 2x2 corner survives
+
+
+class TestBlockMatch:
+    def test_recovers_known_shift(self):
+        image = textured_scene(seed=1)
+        shifted = np.roll(image, shift=(3, -5), axis=(0, 1))
+        dy, dx = block_match_shift(image, shifted, (40, 30, 120, 90))
+        assert (dy, dx) == (3, -5)
+
+    def test_zero_shift(self):
+        image = textured_scene(seed=2)
+        assert block_match_shift(image, image, (40, 30, 120, 90)) == (0, 0)
+
+    def test_degenerate_box(self):
+        image = textured_scene(seed=3)
+        assert block_match_shift(image, image, (10, 10, 12, 12)) == (0, 0)
+
+
+class TestMotionVectorTracker:
+    def make_object(self, shape=(120, 160)):
+        mask = np.zeros(shape, bool)
+        mask[40:70, 50:90] = True
+        return InstanceMask(1, "car", mask)
+
+    def test_tracks_translation(self):
+        image = textured_scene(seed=4)
+        instance = self.make_object()
+        tracker = MotionVectorTracker()
+        tracker.reset([instance], image)
+        moved = np.roll(image, shift=(4, 6), axis=(0, 1))
+        tracked = tracker.update(moved)
+        expected = shift_mask(instance.mask, 4, 6)
+        assert mask_iou(tracked[0].mask, expected) > 0.85
+
+    def test_sequential_tracking(self):
+        image = textured_scene(seed=5)
+        instance = self.make_object()
+        tracker = MotionVectorTracker()
+        tracker.reset([instance], image)
+        current = image
+        total = 0
+        for _ in range(4):
+            current = np.roll(current, shift=(0, 3), axis=(0, 1))
+            tracked = tracker.update(current)
+            total += 3
+        expected = shift_mask(instance.mask, 0, total)
+        assert mask_iou(tracked[0].mask, expected) > 0.75
+
+    def test_empty_reset(self):
+        tracker = MotionVectorTracker()
+        tracker.reset([], textured_scene())
+        assert tracker.update(textured_scene()) == []
+
+
+class TestMosseTracker:
+    def test_tracks_translation(self):
+        image = textured_scene(seed=6)
+        mask = np.zeros(image.shape, bool)
+        mask[40:72, 50:94] = True
+        instance = InstanceMask(1, "crate", mask)
+        tracker = MosseTracker()
+        tracker.reset([instance], image)
+        moved = np.roll(image, shift=(3, 5), axis=(0, 1))
+        tracked = tracker.update(moved)
+        assert len(tracked) == 1
+        expected = shift_mask(mask, 3, 5)
+        assert mask_iou(tracked[0].mask, expected) > 0.7
+
+    def test_shift_only_fails_on_scale_change(self):
+        """The paper's point: shift-only trackers cannot follow scale
+        changes — IoU degrades even under perfect translation tracking."""
+        shape = (120, 160)
+        rr, cc = np.mgrid[0 : shape[0], 0 : shape[1]]
+        small = (rr - 60) ** 2 + (cc - 80) ** 2 <= 20**2
+        grown = (rr - 60) ** 2 + (cc - 80) ** 2 <= 28**2
+        # Best possible shift-only prediction of `grown` from `small` is
+        # `small` itself.
+        assert mask_iou(small, grown) < 0.6
+
+    def test_tiny_objects_skipped(self):
+        image = textured_scene(seed=7)
+        mask = np.zeros(image.shape, bool)
+        mask[10:13, 10:13] = True
+        tracker = MosseTracker()
+        tracker.reset([InstanceMask(1, "dot", mask)], image)
+        assert tracker.masks == []

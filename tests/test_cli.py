@@ -1,0 +1,50 @@
+"""Tests for the experiment CLI."""
+
+import json
+
+import pytest
+
+from repro.eval.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "edgeis" in out and "wifi_5ghz" in out and "kitti_like" in out
+
+    def test_run_requires_known_system(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--system", "magic"])
+
+    def test_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["run"])
+        assert args.system == "edgeis"
+        assert args.network == "wifi_5ghz"
+        assert args.frames == 150
+
+
+class TestRunCommand:
+    def test_run_small_and_save(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "run",
+                "--system",
+                "edge_best_effort",
+                "--dataset",
+                "davis_like",
+                "--frames",
+                "30",
+                "--json",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["system"] == "edge_best_effort"
+        assert 0.0 <= payload["mean_iou"] <= 1.0
+        out = capsys.readouterr().out
+        assert "mean_iou" in out

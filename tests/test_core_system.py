@@ -1,0 +1,128 @@
+"""Tests for the EdgeISSystem client and SystemConfig ablations."""
+
+import numpy as np
+import pytest
+
+from repro.core import EdgeISSystem, SystemConfig
+from repro.eval import ExperimentSpec, run_experiment
+from repro.synthetic import make_dataset
+
+
+def make_system(config=None, frontend="oracle", frames=1):
+    video = make_dataset("davis_like", num_frames=frames, resolution=(160, 120))
+    shape = (video.camera.height, video.camera.width)
+    system = EdgeISSystem(
+        video.camera, shape, config=config, world=video.world, frontend=frontend
+    )
+    return system, video
+
+
+class TestConfig:
+    def test_ablation_names(self):
+        assert SystemConfig().ablation_name == "edgeis"
+        assert (
+            SystemConfig(use_mamt=False, use_ciia=False, use_cfrs=False).ablation_name
+            == "baseline"
+        )
+        assert (
+            SystemConfig(use_mamt=True, use_ciia=False, use_cfrs=False).ablation_name
+            == "baseline+mamt"
+        )
+        assert (
+            SystemConfig(use_mamt=True, use_ciia=True, use_cfrs=False).ablation_name
+            == "baseline+mamt+ciia"
+        )
+
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.EdgeISSystem is EdgeISSystem
+        assert repro.SystemConfig is SystemConfig
+
+
+class TestConstruction:
+    def test_oracle_frontend_requires_world(self):
+        video = make_dataset("davis_like", num_frames=1, resolution=(160, 120))
+        with pytest.raises(ValueError):
+            EdgeISSystem(video.camera, (120, 160), world=None, frontend="oracle")
+
+    def test_unknown_frontend(self):
+        video = make_dataset("davis_like", num_frames=1, resolution=(160, 120))
+        with pytest.raises(ValueError):
+            EdgeISSystem(
+                video.camera, (120, 160), world=video.world, frontend="sift"
+            )
+
+    def test_fast_brief_frontend_builds(self):
+        system, _ = make_system(frontend="fast_brief")
+        assert system.name == "edgeis"
+
+
+class TestBehaviour:
+    def test_process_frame_returns_costs(self):
+        system, video = make_system(frames=3)
+        frame, truth = video.frame_at(0)
+        output = system.process_frame(frame, truth, 0.0)
+        assert output.compute_ms > 0
+        assert isinstance(output.masks, list)
+
+    def test_offloads_during_initialization(self):
+        system, video = make_system(frames=8)
+        offloads = 0
+        for frame, truth in video:
+            output = system.process_frame(frame, truth, frame.index * 33.3)
+            if output.offload is not None:
+                offloads += 1
+                system._outstanding = 0  # pretend the result returned
+        assert offloads >= 1  # CFRS ships init frames to the edge
+
+    def test_receive_result_drains_outstanding(self):
+        system, video = make_system(frames=2)
+        frame, truth = video.frame_at(0)
+        system.process_frame(frame, truth, 0.0)
+        system._outstanding = 1
+        cost = system.receive_result(0, [], 100.0)
+        assert cost > 0
+        assert system._outstanding == 0
+
+    def test_memory_grows_with_map(self):
+        system, video = make_system(frames=1)
+        empty = system.memory_bytes()
+        system.vo.map.add_point(np.zeros(3), np.zeros(32, np.uint8))
+        assert system.memory_bytes() >= empty
+
+    def test_ciia_disabled_sends_no_instructions(self):
+        config = SystemConfig(use_ciia=False)
+        system, video = make_system(config=config, frames=40)
+        requests = []
+        for frame, truth in video:
+            output = system.process_frame(frame, truth, frame.index * 33.3)
+            if output.offload is not None:
+                requests.append(output.offload)
+                system._outstanding = 0
+        assert requests
+        assert all(r.instructions is None for r in requests)
+        assert all(not r.use_dynamic_anchors for r in requests)
+
+    def test_cfrs_disabled_uses_fixed_interval(self):
+        config = SystemConfig(use_cfrs=False, fixed_offload_interval=10)
+        system, video = make_system(config=config, frames=35)
+        offload_frames = []
+        for frame, truth in video:
+            output = system.process_frame(frame, truth, frame.index * 33.3)
+            if output.offload is not None:
+                offload_frames.append(frame.index)
+                system._outstanding = 0
+        gaps = np.diff(offload_frames)
+        assert (gaps >= 10).all()
+
+
+class TestEndToEndAblation:
+    def test_full_system_beats_baseline(self):
+        full = run_experiment(
+            ExperimentSpec(system="edgeis", dataset="davis_like", num_frames=110)
+        ).result
+        base = run_experiment(
+            ExperimentSpec(system="baseline", dataset="davis_like", num_frames=110)
+        ).result
+        assert full.mean_iou() > base.mean_iou()

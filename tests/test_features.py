@@ -1,0 +1,244 @@
+"""Tests for the FAST/BRIEF/matching feature substrate."""
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    BriefDescriptorExtractor,
+    FeatureSet,
+    Keypoint,
+    OrbFeatureExtractor,
+    corner_score_map,
+    fast_corners,
+    grid_select,
+    hamming_distance,
+    match_descriptors,
+    select_features,
+)
+
+
+def dot_field(shape=(120, 160), num_dots=60, seed=0):
+    """Random bright/dark dots on a gray background.
+
+    FAST-9 fires on blob-like structure (a full circle of brighter/darker
+    pixels), not on checkerboard X-junctions, so dots are the natural test
+    texture.
+    """
+    rng = np.random.default_rng(seed)
+    image = np.full(shape, 128.0, dtype=np.float32)
+    rr, cc = np.mgrid[0 : shape[0], 0 : shape[1]]
+    for _ in range(num_dots):
+        r = rng.integers(5, shape[0] - 5)
+        c = rng.integers(5, shape[1] - 5)
+        radius = rng.integers(2, 4)
+        value = float(rng.choice([10.0, 245.0]))
+        image[(rr - r) ** 2 + (cc - c) ** 2 <= radius**2] = value
+    return image
+
+
+def textured_image(shape=(120, 160), seed=0):
+    """Dot field + mild noise: plenty of corners, repeatable."""
+    rng = np.random.default_rng(seed)
+    return dot_field(shape, seed=seed) + rng.normal(scale=3.0, size=shape).astype(
+        np.float32
+    )
+
+
+class TestFast:
+    def test_flat_image_has_no_corners(self):
+        flat = np.full((50, 50), 128.0, dtype=np.float32)
+        assert fast_corners(flat) == []
+
+    def test_dot_field_detections_lie_on_dots(self):
+        image = dot_field(seed=7)
+        keypoints = fast_corners(image, threshold=25.0)
+        assert len(keypoints) > 10
+        for keypoint in keypoints[:30]:
+            # Each detection sits on or next to non-background texture.
+            patch = image[
+                max(int(keypoint.row) - 4, 0) : int(keypoint.row) + 5,
+                max(int(keypoint.col) - 4, 0) : int(keypoint.col) + 5,
+            ]
+            assert np.abs(patch - 128.0).max() > 50
+
+    def test_single_bright_dot(self):
+        image = np.zeros((40, 40), dtype=np.float32)
+        image[20, 20] = 255.0
+        keypoints = fast_corners(image, threshold=20.0, compute_orientation=False)
+        # The dot itself darker-ring test fires at/near the dot.
+        assert any(abs(k.row - 20) <= 2 and abs(k.col - 20) <= 2 for k in keypoints)
+
+    def test_score_map_zero_border(self):
+        scores = corner_score_map(textured_image(), threshold=20.0)
+        assert not scores[:3].any() and not scores[-3:].any()
+        assert not scores[:, :3].any() and not scores[:, -3:].any()
+
+    def test_max_keypoints_respected(self):
+        keypoints = fast_corners(textured_image(), max_keypoints=7)
+        assert len(keypoints) <= 7
+
+    def test_scores_sorted_descending(self):
+        keypoints = fast_corners(textured_image())
+        scores = [k.score for k in keypoints]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_tiny_image(self):
+        assert fast_corners(np.zeros((5, 5), dtype=np.float32)) == []
+
+    def test_rejects_color_image(self):
+        with pytest.raises(ValueError):
+            corner_score_map(np.zeros((10, 10, 3)))
+
+
+class TestGridSelect:
+    def test_caps_per_cell(self):
+        keypoints = [
+            Keypoint(row=5, col=5 + i, score=float(i)) for i in range(10)
+        ]
+        selected = grid_select(keypoints, (64, 64), cell=32, per_cell=3)
+        assert len(selected) == 3
+        assert [k.score for k in selected] == [9.0, 8.0, 7.0]
+
+    def test_keeps_spread_points(self):
+        keypoints = [
+            Keypoint(row=5, col=5, score=1.0),
+            Keypoint(row=40, col=40, score=1.0),
+            Keypoint(row=90, col=90, score=1.0),
+        ]
+        assert len(grid_select(keypoints, (128, 128), cell=32, per_cell=1)) == 3
+
+
+class TestBrief:
+    def test_descriptor_shape(self):
+        image = textured_image()
+        keypoints = fast_corners(image, max_keypoints=50)
+        kept, descriptors = BriefDescriptorExtractor().compute(image, keypoints)
+        assert descriptors.shape == (len(kept), 32)
+        assert descriptors.dtype == np.uint8
+
+    def test_border_keypoints_dropped(self):
+        image = textured_image()
+        keypoints = [Keypoint(row=2, col=2, score=1.0)]
+        kept, descriptors = BriefDescriptorExtractor().compute(image, keypoints)
+        assert kept == [] and len(descriptors) == 0
+
+    def test_descriptor_stable_under_noise(self):
+        image = textured_image(seed=1)
+        noisy = image + np.random.default_rng(2).normal(scale=2.0, size=image.shape)
+        keypoints = fast_corners(image, max_keypoints=30)
+        extractor = BriefDescriptorExtractor()
+        kept_a, descriptors_a = extractor.compute(image, keypoints)
+        kept_b, descriptors_b = extractor.compute(noisy.astype(np.float32), kept_a)
+        assert len(kept_a) == len(kept_b)
+        distances = np.diagonal(hamming_distance(descriptors_a, descriptors_b))
+        assert np.median(distances) < 40  # same points stay close in Hamming space
+
+    def test_hamming_distance_identity(self):
+        descriptors = np.random.default_rng(0).integers(
+            0, 256, size=(5, 32), dtype=np.uint8
+        )
+        distances = hamming_distance(descriptors, descriptors)
+        assert (np.diagonal(distances) == 0).all()
+        assert (distances >= 0).all() and (distances <= 256).all()
+
+    def test_hamming_known_value(self):
+        a = np.zeros((1, 32), dtype=np.uint8)
+        b = np.zeros((1, 32), dtype=np.uint8)
+        b[0, 0] = 0b10110000
+        assert hamming_distance(a, b)[0, 0] == 3
+
+
+class TestMatching:
+    def test_self_match_is_identity(self):
+        image = textured_image()
+        features = OrbFeatureExtractor(max_keypoints=60).extract(image)
+        matches = match_descriptors(features.descriptors, features.descriptors)
+        assert len(matches) >= len(features) * 0.8
+        assert all(m.query_index == m.train_index for m in matches)
+        assert all(m.distance == 0 for m in matches)
+
+    def test_translated_image_matches(self):
+        image = textured_image(seed=3)
+        shifted = np.roll(image, shift=(4, 6), axis=(0, 1))
+        extractor = OrbFeatureExtractor(max_keypoints=80)
+        features_a = extractor.extract(image)
+        features_b = extractor.extract(shifted)
+        matches = match_descriptors(features_a.descriptors, features_b.descriptors)
+        assert len(matches) >= 10
+        # Matched displacement should cluster around (6, 4) in (u, v).
+        displacements = np.array(
+            [
+                features_b.pixels[m.train_index] - features_a.pixels[m.query_index]
+                for m in matches
+            ]
+        )
+        median_displacement = np.median(displacements, axis=0)
+        assert np.allclose(median_displacement, [6, 4], atol=1.5)
+
+    def test_empty_inputs(self):
+        empty = np.zeros((0, 32), dtype=np.uint8)
+        some = np.zeros((3, 32), dtype=np.uint8)
+        assert match_descriptors(empty, some) == []
+        assert match_descriptors(some, empty) == []
+
+    def test_max_distance_filters(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 256, size=(10, 32), dtype=np.uint8)
+        b = rng.integers(0, 256, size=(10, 32), dtype=np.uint8)
+        strict = match_descriptors(a, b, max_distance=10, cross_check=False)
+        assert all(m.distance <= 10 for m in strict)
+
+
+class TestFeatureSet:
+    def test_pixels_layout(self):
+        features = FeatureSet(
+            keypoints=[Keypoint(row=3, col=7, score=1.0)],
+            descriptors=np.zeros((1, 32), dtype=np.uint8),
+        )
+        assert np.allclose(features.pixels, [[7, 3]])  # (u, v) order
+
+    def test_subset_bool_and_int(self):
+        image = textured_image()
+        features = OrbFeatureExtractor(max_keypoints=20).extract(image)
+        by_bool = features.subset(np.arange(len(features)) % 2 == 0)
+        by_int = features.subset(np.arange(0, len(features), 2))
+        assert len(by_bool) == len(by_int)
+        assert np.array_equal(by_bool.descriptors, by_int.descriptors)
+
+
+class TestSelectFeatures:
+    def make_scene(self):
+        image = textured_image(seed=5)
+        mask = np.zeros(image.shape, dtype=bool)
+        mask[30:80, 40:100] = True
+        features = OrbFeatureExtractor(max_keypoints=120).extract(image)
+        return image, mask, features
+
+    def test_labels_match_masks(self):
+        image, mask, features = self.make_scene()
+        selected, labels = select_features(features, image, [mask])
+        pixels = selected.pixels
+        for pixel, label in zip(pixels, labels):
+            inside = mask[int(round(pixel[1])), int(round(pixel[0]))]
+            assert (label == 1) == bool(inside)
+
+    def test_background_proximity_pruning(self):
+        image, mask, features = self.make_scene()
+        selected, labels = select_features(
+            features, image, [mask], min_separation=12.0
+        )
+        background = selected.pixels[labels == 0]
+        if len(background) >= 2:
+            from scipy.spatial.distance import pdist
+
+            assert pdist(background).min() >= 12.0 - 1e-6
+
+    def test_empty_feature_set(self):
+        empty = FeatureSet(keypoints=[], descriptors=np.zeros((0, 32), np.uint8))
+        selected, labels = select_features(empty, np.zeros((50, 50)))
+        assert len(selected) == 0 and len(labels) == 0
+
+    def test_no_masks_means_all_background(self):
+        image, _, features = self.make_scene()
+        _, labels = select_features(features, image, None)
+        assert (labels == 0).all()

@@ -1,0 +1,78 @@
+"""Tests for the ORB scale pyramid and bilinear resize."""
+
+import numpy as np
+import pytest
+
+from repro.features import OrbFeatureExtractor, match_descriptors
+from repro.image import resize_bilinear
+
+
+def dot_field(shape=(160, 200), num_dots=80, seed=0):
+    rng = np.random.default_rng(seed)
+    image = np.full(shape, 128.0, dtype=np.float32)
+    rr, cc = np.mgrid[0 : shape[0], 0 : shape[1]]
+    for _ in range(num_dots):
+        r = rng.integers(8, shape[0] - 8)
+        c = rng.integers(8, shape[1] - 8)
+        radius = rng.integers(2, 5)
+        image[(rr - r) ** 2 + (cc - c) ** 2 <= radius**2] = float(
+            rng.choice([15.0, 240.0])
+        )
+    return image
+
+
+class TestResize:
+    def test_identity(self):
+        image = dot_field()
+        assert np.allclose(resize_bilinear(image, 1.0), image)
+
+    def test_shapes(self):
+        image = dot_field((100, 140))
+        assert resize_bilinear(image, 0.5).shape == (50, 70)
+        assert resize_bilinear(image, 2.0).shape == (200, 280)
+
+    def test_preserves_mean_roughly(self):
+        image = dot_field()
+        small = resize_bilinear(image, 0.6)
+        assert small.mean() == pytest.approx(image.mean(), rel=0.05)
+
+
+class TestPyramid:
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            OrbFeatureExtractor(num_levels=0)
+
+    def test_octaves_populated(self):
+        image = dot_field(seed=2)
+        features = OrbFeatureExtractor(max_keypoints=300, num_levels=3).extract(image)
+        octaves = {k.octave for k in features.keypoints}
+        assert 0 in octaves
+        assert len(octaves) >= 2  # at least two pyramid levels contributed
+
+    def test_coordinates_in_full_resolution(self):
+        image = dot_field(seed=3)
+        features = OrbFeatureExtractor(max_keypoints=300, num_levels=3).extract(image)
+        pixels = features.pixels
+        assert pixels[:, 0].max() < image.shape[1]
+        assert pixels[:, 1].max() < image.shape[0]
+
+    def test_single_level_unchanged(self):
+        image = dot_field(seed=4)
+        single = OrbFeatureExtractor(max_keypoints=100, num_levels=1).extract(image)
+        assert all(k.octave == 0 for k in single.keypoints)
+
+    def test_scale_change_matching_improves_with_pyramid(self):
+        # Zooming the scene by 1.4x: multi-scale features should match at
+        # least as well as single-scale ones.
+        image = dot_field(seed=5)
+        zoomed = resize_bilinear(image, 1.4)[: image.shape[0], : image.shape[1]]
+
+        def match_count(levels):
+            extractor = OrbFeatureExtractor(max_keypoints=250, num_levels=levels)
+            features_a = extractor.extract(image)
+            features_b = extractor.extract(zoomed)
+            return len(
+                match_descriptors(features_a.descriptors, features_b.descriptors)
+            )
+
+        assert match_count(3) >= match_count(1)

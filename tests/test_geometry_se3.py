@@ -1,0 +1,141 @@
+"""Unit tests for SE(3) transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import SE3, skew, so3_exp, so3_log
+
+
+def random_pose(rng: np.random.Generator) -> SE3:
+    return SE3.exp(rng.normal(scale=0.8, size=6))
+
+
+class TestSkew:
+    def test_skew_matches_cross_product(self):
+        a = np.array([1.0, -2.0, 3.0])
+        b = np.array([0.5, 4.0, -1.0])
+        assert np.allclose(skew(a) @ b, np.cross(a, b))
+
+    def test_skew_is_antisymmetric(self):
+        m = skew([3.0, 1.0, 2.0])
+        assert np.allclose(m, -m.T)
+
+
+class TestSO3:
+    def test_exp_of_zero_is_identity(self):
+        assert np.allclose(so3_exp(np.zeros(3)), np.eye(3))
+
+    def test_exp_log_roundtrip(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            omega = rng.normal(scale=1.0, size=3)
+            # log returns the minimal-angle representative, so compare the
+            # rotations, not the vectors (|omega| may exceed pi).
+            recovered = so3_exp(so3_log(so3_exp(omega)))
+            assert np.allclose(recovered, so3_exp(omega), atol=1e-9)
+
+    def test_log_roundtrip_within_pi(self):
+        rng = np.random.default_rng(12)
+        for _ in range(20):
+            omega = rng.normal(size=3)
+            omega *= rng.uniform(0.0, 3.0) / max(np.linalg.norm(omega), 1e-9)
+            assert np.allclose(so3_log(so3_exp(omega)), omega, atol=1e-8)
+
+    def test_exp_produces_rotation_matrix(self):
+        rotation = so3_exp([0.3, -0.2, 0.9])
+        assert np.allclose(rotation @ rotation.T, np.eye(3), atol=1e-12)
+        assert np.isclose(np.linalg.det(rotation), 1.0)
+
+    def test_log_near_pi(self):
+        omega = np.array([np.pi - 1e-7, 0.0, 0.0])
+        recovered = so3_log(so3_exp(omega))
+        assert np.allclose(np.abs(recovered), np.abs(omega), atol=1e-5)
+
+    def test_exp_rotates_by_expected_angle(self):
+        rotation = so3_exp([0.0, 0.0, np.pi / 2])
+        assert np.allclose(rotation @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+
+class TestSE3:
+    def test_identity_fixes_points(self):
+        points = np.random.default_rng(0).normal(size=(5, 3))
+        assert np.allclose(SE3.identity().transform(points), points)
+
+    def test_compose_inverse_is_identity(self):
+        rng = np.random.default_rng(2)
+        pose = random_pose(rng)
+        assert (pose @ pose.inverse()).allclose(SE3.identity(), atol=1e-9)
+        assert (pose.inverse() @ pose).allclose(SE3.identity(), atol=1e-9)
+
+    def test_exp_log_roundtrip(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            xi = rng.normal(scale=0.7, size=6)
+            assert np.allclose(SE3.exp(xi).log(), xi, atol=1e-8)
+
+    def test_transform_single_and_batch_agree(self):
+        rng = np.random.default_rng(4)
+        pose = random_pose(rng)
+        points = rng.normal(size=(7, 3))
+        batch = pose.transform(points)
+        for i, point in enumerate(points):
+            assert np.allclose(pose.transform(point), batch[i])
+
+    def test_compose_matches_matrix_product(self):
+        rng = np.random.default_rng(5)
+        a, b = random_pose(rng), random_pose(rng)
+        assert np.allclose((a @ b).matrix(), a.matrix() @ b.matrix())
+
+    def test_center_is_fixed_point_of_projection(self):
+        rng = np.random.default_rng(6)
+        pose = random_pose(rng)
+        assert np.allclose(pose.transform(pose.center), np.zeros(3), atol=1e-9)
+
+    def test_look_at_points_camera_z_at_target(self):
+        pose = SE3.look_at(eye=[0, 0, -5], target=[0, 0, 0])
+        target_camera = pose.transform(np.array([0.0, 0.0, 0.0]))
+        assert target_camera[2] > 0  # target in front of camera
+        assert np.allclose(target_camera[:2], 0, atol=1e-12)
+
+    def test_look_at_rejects_coincident_eye_target(self):
+        with pytest.raises(ValueError):
+            SE3.look_at([1, 2, 3], [1, 2, 3])
+
+    def test_immutability(self):
+        pose = SE3.identity()
+        with pytest.raises(AttributeError):
+            pose.rotation = np.eye(3)
+        with pytest.raises(ValueError):
+            pose.translation[0] = 5.0
+
+    def test_rotation_angle_metric(self):
+        a = SE3(so3_exp([0, 0, 0.0]), [0, 0, 0])
+        b = SE3(so3_exp([0, 0, 0.5]), [1, 0, 0])
+        assert np.isclose(a.rotation_angle_to(b), 0.5)
+        assert np.isclose(a.translation_distance_to(b), np.linalg.norm(b.center))
+
+    def test_from_matrix_roundtrip(self):
+        rng = np.random.default_rng(7)
+        pose = random_pose(rng)
+        assert SE3.from_matrix(pose.matrix()).allclose(pose)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    xi=st.lists(st.floats(-1.5, 1.5), min_size=6, max_size=6),
+    point=st.lists(st.floats(-10, 10), min_size=3, max_size=3),
+)
+def test_property_inverse_undoes_transform(xi, point):
+    pose = SE3.exp(np.array(xi))
+    point = np.array(point)
+    assert np.allclose(pose.inverse().transform(pose.transform(point)), point, atol=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(xi=st.lists(st.floats(-1.5, 1.5), min_size=6, max_size=6))
+def test_property_rotation_stays_orthonormal(xi):
+    pose = SE3.exp(np.array(xi))
+    assert np.allclose(pose.rotation @ pose.rotation.T, np.eye(3), atol=1e-9)
+    assert np.isclose(np.linalg.det(pose.rotation), 1.0, atol=1e-9)

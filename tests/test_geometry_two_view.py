@@ -1,0 +1,212 @@
+"""Integration tests for camera projection, epipolar geometry, triangulation
+and PnP — the full two-view pipeline edgeIS initialization relies on."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    PinholeCamera,
+    SE3,
+    eight_point_fundamental,
+    fundamental_ransac,
+    recover_relative_pose,
+    refine_pose,
+    reprojection_errors,
+    sampson_distance,
+    solve_pnp,
+    triangulate_dlt,
+    triangulate_midpoint,
+)
+
+
+@pytest.fixture
+def camera():
+    return PinholeCamera.with_fov(640, 480, horizontal_fov_deg=64.0)
+
+
+def make_scene(rng, count=60, depth_range=(4.0, 12.0)):
+    """Random 3-D points in front of the origin camera."""
+    x = rng.uniform(-3.0, 3.0, size=count)
+    y = rng.uniform(-2.0, 2.0, size=count)
+    z = rng.uniform(*depth_range, size=count)
+    return np.stack([x, y, z], axis=1)
+
+
+class TestPinholeCamera:
+    def test_project_backproject_roundtrip(self, camera):
+        rng = np.random.default_rng(0)
+        points = make_scene(rng)
+        pixels, depths = camera.project(points)
+        recovered = camera.backproject(pixels, depths)
+        assert np.allclose(recovered, points, atol=1e-9)
+
+    def test_principal_point_projects_to_center(self, camera):
+        pixels, depths = camera.project(np.array([[0.0, 0.0, 5.0]]))
+        assert np.allclose(pixels[0], [camera.cx, camera.cy])
+        assert depths[0] == 5.0
+
+    def test_in_view_rejects_behind_camera(self, camera):
+        pixels, depths = camera.project(np.array([[0.0, 0.0, -5.0]]))
+        assert not camera.in_view(pixels, depths).any()
+
+    def test_matrix_inverse(self, camera):
+        assert np.allclose(camera.matrix @ camera.matrix_inverse, np.eye(3), atol=1e-12)
+
+    def test_normalize_matches_backproject_at_unit_depth(self, camera):
+        pix = np.array([[100.0, 200.0], [320.0, 240.0]])
+        normalized = camera.normalize(pix)
+        lifted = camera.backproject(pix, np.ones(2))
+        assert np.allclose(normalized, lifted[:, :2])
+
+    def test_with_fov_has_symmetric_principal_point(self):
+        cam = PinholeCamera.with_fov(320, 240, 90.0)
+        assert cam.cx == 160.0 and cam.cy == 120.0
+        # 90 deg horizontal fov -> fx = w/2.
+        assert np.isclose(cam.fx, 160.0)
+
+
+class TestEpipolar:
+    def make_two_views(self, camera, rng, noise=0.0, outliers=0):
+        points = make_scene(rng, count=80)
+        pose_10 = SE3.exp(np.array([0.4, 0.05, 0.02, 0.01, 0.08, 0.005]))
+        pixels0, _ = camera.project(points)
+        pixels1, depths1 = camera.project(pose_10.transform(points))
+        if noise:
+            pixels0 = pixels0 + rng.normal(scale=noise, size=pixels0.shape)
+            pixels1 = pixels1 + rng.normal(scale=noise, size=pixels1.shape)
+        if outliers:
+            idx = rng.choice(len(points), size=outliers, replace=False)
+            pixels1[idx] += rng.uniform(30, 80, size=(outliers, 2))
+        return points, pose_10, pixels0, pixels1
+
+    def test_eight_point_satisfies_epipolar_constraint(self, camera):
+        rng = np.random.default_rng(1)
+        _, _, pixels0, pixels1 = self.make_two_views(camera, rng)
+        fundamental = eight_point_fundamental(pixels0, pixels1)
+        errors = sampson_distance(fundamental, pixels0, pixels1)
+        assert np.max(errors) < 1e-6
+
+    def test_eight_point_requires_eight_pairs(self):
+        pts = np.random.default_rng(0).uniform(0, 100, size=(7, 2))
+        with pytest.raises(ValueError):
+            eight_point_fundamental(pts, pts)
+
+    def test_ransac_rejects_outliers(self, camera):
+        rng = np.random.default_rng(2)
+        _, _, pixels0, pixels1 = self.make_two_views(camera, rng, noise=0.3, outliers=15)
+        _, mask = fundamental_ransac(pixels0, pixels1, rng=rng)
+        # The 15 corrupted matches should be mostly excluded.
+        assert mask.sum() >= 50
+        assert mask.sum() <= 70
+
+    def test_recover_relative_pose_direction(self, camera):
+        rng = np.random.default_rng(3)
+        _, pose_10, pixels0, pixels1 = self.make_two_views(camera, rng)
+        geometry = recover_relative_pose(camera, pixels0, pixels1, rng=rng)
+        # Rotation recovered exactly; translation up to scale.
+        assert np.allclose(geometry.pose_10.rotation, pose_10.rotation, atol=1e-4)
+        t_est = geometry.pose_10.translation
+        t_true = pose_10.translation / np.linalg.norm(pose_10.translation)
+        assert np.allclose(t_est, t_true, atol=1e-3)
+
+    def test_recover_relative_pose_structure_scale_consistent(self, camera):
+        rng = np.random.default_rng(4)
+        points, pose_10, pixels0, pixels1 = self.make_two_views(camera, rng)
+        geometry = recover_relative_pose(camera, pixels0, pixels1, rng=rng)
+        scale = np.linalg.norm(pose_10.translation)  # true baseline length
+        recovered = geometry.points_3d * scale
+        true_subset = points[geometry.point_indices]
+        assert np.allclose(recovered, true_subset, atol=1e-2)
+
+    def test_recover_reports_parallax(self, camera):
+        rng = np.random.default_rng(5)
+        _, _, pixels0, pixels1 = self.make_two_views(camera, rng)
+        geometry = recover_relative_pose(camera, pixels0, pixels1, rng=rng)
+        assert geometry.median_parallax_deg > 0.5
+
+
+class TestTriangulation:
+    def test_midpoint_recovers_points(self, camera):
+        rng = np.random.default_rng(6)
+        points = make_scene(rng, count=30)
+        pose_10 = SE3.exp(np.array([0.5, 0.0, 0.0, 0.0, 0.05, 0.0]))
+        norm0 = camera.normalize(camera.project(points)[0])
+        norm1 = camera.normalize(camera.project(pose_10.transform(points))[0])
+        recovered, valid = triangulate_midpoint(norm0, norm1, pose_10)
+        assert valid.all()
+        assert np.allclose(recovered, points, atol=1e-8)
+
+    def test_dlt_recovers_world_points(self, camera):
+        rng = np.random.default_rng(7)
+        points = make_scene(rng, count=30)
+        pose_0w = SE3.exp(np.array([0.1, -0.05, 0.02, 0.03, 0.0, 0.01]))
+        pose_1w = SE3.exp(np.array([0.6, 0.05, 0.0, 0.0, -0.06, 0.0])) @ pose_0w
+        norm0 = camera.normalize(camera.project(pose_0w.transform(points))[0])
+        norm1 = camera.normalize(camera.project(pose_1w.transform(points))[0])
+        recovered, valid = triangulate_dlt(norm0, norm1, pose_0w, pose_1w)
+        assert valid.all()
+        assert np.allclose(recovered, points, atol=1e-6)
+
+    def test_midpoint_flags_behind_camera(self, camera):
+        # A point behind camera 0 must fail cheirality.
+        pose_10 = SE3.exp(np.array([0.5, 0, 0, 0, 0, 0]))
+        norm0 = np.array([[0.0, 0.0]])
+        # Camera 1 sits to the *left* of camera 0 (its center is at x=-0.5
+        # in frame 0); a match disparity in the wrong direction implies the
+        # rays intersect behind the cameras.
+        norm1 = np.array([[-0.5, 0.0]])
+        _, valid = triangulate_midpoint(norm0, norm1, pose_10)
+        assert not valid[0]
+
+
+class TestPnP:
+    def test_refine_converges_from_perturbed_pose(self, camera):
+        rng = np.random.default_rng(8)
+        points = make_scene(rng)
+        true_pose = SE3.exp(np.array([0.2, -0.1, 0.05, 0.04, -0.03, 0.02]))
+        pixels, _ = camera.project(true_pose.transform(points))
+        guess = true_pose.retract(np.array([0.05, 0.02, -0.03, 0.01, 0.02, -0.01]))
+        result = refine_pose(camera, guess, points, pixels)
+        assert result.pose_cw.allclose(true_pose, atol=1e-5)
+        assert result.num_inliers == len(points)
+        assert result.final_rms < 1e-4
+
+    def test_refine_rejects_too_few_points(self, camera):
+        with pytest.raises(ValueError):
+            refine_pose(camera, SE3.identity(), np.zeros((2, 3)), np.zeros((2, 2)))
+
+    def test_solve_pnp_with_outliers(self, camera):
+        rng = np.random.default_rng(9)
+        points = make_scene(rng, count=100)
+        true_pose = SE3.exp(np.array([0.3, 0.1, -0.02, 0.02, 0.05, -0.01]))
+        pixels, _ = camera.project(true_pose.transform(points))
+        pixels += rng.normal(scale=0.3, size=pixels.shape)
+        corrupt = rng.choice(100, size=20, replace=False)
+        pixels[corrupt] += rng.uniform(25, 60, size=(20, 2))
+        guess = true_pose.retract(rng.normal(scale=0.05, size=6))
+        result = solve_pnp(camera, points, pixels, initial_pose_cw=guess)
+        errors = reprojection_errors(camera.matrix, result.pose_cw, points, pixels)
+        clean = np.setdiff1d(np.arange(100), corrupt)
+        assert np.median(errors[clean]) < 1.5
+        assert result.num_inliers >= 70
+
+    def test_solve_pnp_cold_start_with_ransac(self, camera):
+        rng = np.random.default_rng(10)
+        points = make_scene(rng, count=60)
+        true_pose = SE3.exp(np.array([0.1, 0.05, 0.02, 0.02, 0.01, 0.0]))
+        pixels, _ = camera.project(true_pose.transform(points))
+        result = solve_pnp(camera, points, pixels, ransac_iterations=20, rng=rng)
+        errors = reprojection_errors(camera.matrix, result.pose_cw, points, pixels)
+        assert np.median(errors) < 2.0
+
+    def test_minimum_three_points(self, camera):
+        # The paper: BA requires at least 3 pairs (Section III-B).
+        rng = np.random.default_rng(11)
+        points = make_scene(rng, count=3)
+        true_pose = SE3.exp(np.array([0.05, 0.02, 0.0, 0.01, 0.0, 0.0]))
+        pixels, _ = camera.project(true_pose.transform(points))
+        result = refine_pose(
+            camera, SE3.identity(), points, pixels, max_iterations=60, huber_delta=None
+        )
+        errors = reprojection_errors(camera.matrix, result.pose_cw, points, pixels)
+        assert np.max(errors) < 1.0

@@ -1,0 +1,163 @@
+"""Tests for contour tracing and rasterization — the core of mask transfer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.image import (
+    fill_contour,
+    find_contours,
+    largest_contour,
+    mask_boundary,
+    mask_iou,
+    resample_contour,
+)
+
+
+def disk_mask(shape, center, radius):
+    rr, cc = np.mgrid[0 : shape[0], 0 : shape[1]]
+    return (rr - center[0]) ** 2 + (cc - center[1]) ** 2 <= radius**2
+
+
+class TestFindContours:
+    def test_empty_mask(self):
+        assert find_contours(np.zeros((10, 10), bool)) == []
+
+    def test_single_pixel(self):
+        mask = np.zeros((10, 10), bool)
+        mask[4, 4] = True
+        contours = find_contours(mask)
+        assert len(contours) == 1
+        assert (contours[0] == [4, 4]).all()
+
+    def test_rectangle_boundary(self):
+        mask = np.zeros((20, 20), bool)
+        mask[5:10, 3:12] = True
+        contours = find_contours(mask)
+        assert len(contours) == 1
+        contour = contours[0]
+        # Every contour pixel is on the rectangle boundary.
+        for r, c in contour:
+            assert mask[r, c]
+            on_edge = r in (5, 9) or c in (3, 11)
+            assert on_edge
+        # Perimeter pixel count of a 5x9 rectangle boundary is 2*(5+9)-4=24.
+        assert len(np.unique(contour, axis=0)) == 24
+
+    def test_two_components(self):
+        mask = np.zeros((20, 20), bool)
+        mask[2:6, 2:6] = True
+        mask[10:16, 10:18] = True
+        contours = find_contours(mask)
+        assert len(contours) == 2
+
+    def test_largest_contour(self):
+        mask = np.zeros((20, 20), bool)
+        mask[2:4, 2:4] = True
+        mask[8:18, 8:18] = True
+        contour = largest_contour(mask)
+        assert contour is not None
+        assert contour[:, 0].min() >= 8
+
+    def test_largest_contour_empty(self):
+        assert largest_contour(np.zeros((5, 5), bool)) is None
+
+    def test_min_length_filter(self):
+        mask = np.zeros((20, 20), bool)
+        mask[2, 2] = True  # 1-pixel component
+        mask[8:18, 8:18] = True
+        contours = find_contours(mask, min_length=5)
+        assert len(contours) == 1
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            find_contours(np.zeros(10, bool))
+
+
+class TestFillContour:
+    def test_trace_fill_roundtrip_rectangle(self):
+        mask = np.zeros((30, 30), bool)
+        mask[5:15, 8:22] = True
+        contour = find_contours(mask)[0]
+        refilled = fill_contour(contour, mask.shape)
+        assert mask_iou(mask, refilled) == 1.0
+
+    def test_trace_fill_roundtrip_disk(self):
+        mask = disk_mask((50, 50), (25, 25), 14)
+        contour = find_contours(mask)[0]
+        refilled = fill_contour(contour, mask.shape)
+        assert mask_iou(mask, refilled) > 0.97
+
+    def test_fill_empty_contour(self):
+        assert not fill_contour(np.zeros((0, 2)), (10, 10)).any()
+
+    def test_fill_subpixel_contour(self):
+        # A square given at sub-pixel coordinates still fills.
+        contour = np.array([[4.5, 4.5], [4.5, 15.5], [15.5, 15.5], [15.5, 4.5]])
+        filled = fill_contour(contour, (20, 20))
+        assert filled[10, 10]
+        assert filled.sum() >= 100
+
+    def test_fill_clips_out_of_bounds(self):
+        contour = np.array([[-5.0, -5.0], [-5.0, 8.0], [8.0, 8.0], [8.0, -5.0]])
+        filled = fill_contour(contour, (10, 10))
+        assert filled[0, 0]
+        assert filled.shape == (10, 10)
+
+    def test_fill_degenerate_two_points(self):
+        filled = fill_contour(np.array([[2.0, 2.0], [2.0, 7.0]]), (10, 10))
+        assert filled[2, 2] and filled[2, 7]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        cy=st.integers(10, 20),
+        cx=st.integers(10, 20),
+        radius=st.integers(3, 9),
+    )
+    def test_property_roundtrip_iou_high(self, cy, cx, radius):
+        mask = disk_mask((32, 32), (cy, cx), radius)
+        contour = find_contours(mask)[0]
+        refilled = fill_contour(contour, mask.shape)
+        assert mask_iou(mask, refilled) > 0.9
+
+
+class TestMaskBoundary:
+    def test_boundary_of_rectangle(self):
+        mask = np.zeros((20, 20), bool)
+        mask[5:10, 3:12] = True
+        boundary = mask_boundary(mask)
+        assert boundary.sum() == 24
+        assert (boundary & ~mask).sum() == 0
+
+    def test_boundary_of_empty(self):
+        assert not mask_boundary(np.zeros((5, 5), bool)).any()
+
+
+class TestResampleContour:
+    def test_count_and_range(self):
+        mask = disk_mask((50, 50), (25, 25), 15)
+        contour = find_contours(mask)[0]
+        resampled = resample_contour(contour, 40)
+        assert resampled.shape == (40, 2)
+        # Resampled points stay near the original contour.
+        from scipy.spatial import cKDTree
+
+        tree = cKDTree(contour)
+        distances, _ = tree.query(resampled)
+        assert distances.max() < 1.5
+
+    def test_upsampling(self):
+        contour = np.array([[0.0, 0.0], [0.0, 10.0], [10.0, 10.0], [10.0, 0.0]])
+        resampled = resample_contour(contour, 100)
+        assert resampled.shape == (100, 2)
+
+    def test_empty(self):
+        assert resample_contour(np.zeros((0, 2)), 10).shape == (0, 2)
+
+    def test_fill_after_resample_preserves_shape(self):
+        mask = disk_mask((60, 60), (30, 30), 20)
+        contour = find_contours(mask)[0]
+        resampled = resample_contour(contour, 64)
+        refilled = fill_contour(resampled, mask.shape)
+        assert mask_iou(mask, refilled) > 0.9

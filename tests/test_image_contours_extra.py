@@ -1,0 +1,77 @@
+"""Extra contour tests: holes, concavities, frame-border blobs."""
+
+import numpy as np
+import pytest
+
+from repro.image import fill_contour, find_contours, largest_contour, mask_iou
+
+
+class TestConcaveShapes:
+    def make_l_shape(self):
+        mask = np.zeros((40, 40), bool)
+        mask[5:35, 5:15] = True
+        mask[25:35, 5:35] = True
+        return mask
+
+    def test_l_shape_roundtrip(self):
+        mask = self.make_l_shape()
+        contour = find_contours(mask)[0]
+        refilled = fill_contour(contour, mask.shape)
+        assert mask_iou(mask, refilled) > 0.93
+
+    def test_u_shape_roundtrip(self):
+        mask = np.zeros((40, 40), bool)
+        mask[5:35, 5:12] = True
+        mask[5:35, 28:35] = True
+        mask[28:35, 5:35] = True
+        contour = largest_contour(mask)
+        refilled = fill_contour(contour, mask.shape)
+        assert mask_iou(mask, refilled) > 0.9
+
+
+class TestHoles:
+    def test_donut_outer_contour_fills_hole(self):
+        # find_contours returns *outer* boundaries: filling a donut's
+        # contour recovers the filled disk (documented behaviour — masks
+        # with holes lose them through contour transfer).
+        rr, cc = np.mgrid[0:50, 0:50]
+        distance = (rr - 25) ** 2 + (cc - 25) ** 2
+        donut = (distance <= 20**2) & (distance >= 10**2)
+        disk = distance <= 20**2
+        contour = largest_contour(donut)
+        refilled = fill_contour(contour, donut.shape)
+        assert mask_iou(refilled, disk) > 0.92
+
+
+class TestBorderBlobs:
+    def test_blob_touching_border(self):
+        mask = np.zeros((30, 30), bool)
+        mask[0:12, 0:12] = True  # corner blob
+        contours = find_contours(mask)
+        assert len(contours) == 1
+        refilled = fill_contour(contours[0], mask.shape)
+        assert mask_iou(mask, refilled) > 0.95
+
+    def test_full_frame_mask(self):
+        mask = np.ones((20, 20), bool)
+        contour = find_contours(mask)[0]
+        refilled = fill_contour(contour, mask.shape)
+        assert mask_iou(mask, refilled) > 0.95
+
+    def test_one_pixel_wide_line(self):
+        mask = np.zeros((20, 20), bool)
+        mask[10, 2:18] = True
+        contours = find_contours(mask)
+        assert len(contours) == 1
+        refilled = fill_contour(contours[0], mask.shape)
+        # Thin structures survive thanks to contour stamping.
+        assert mask_iou(mask, refilled) > 0.9
+
+    def test_diagonal_line(self):
+        mask = np.zeros((20, 20), bool)
+        for i in range(3, 17):
+            mask[i, i] = True
+        contours = find_contours(mask)
+        assert len(contours) == 1
+        refilled = fill_contour(contours[0], mask.shape)
+        assert refilled[10, 10]

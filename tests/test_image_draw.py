@@ -1,0 +1,91 @@
+"""Tests for mask-overlay drawing and PPM/PGM export."""
+
+import numpy as np
+import pytest
+
+from repro.image import (
+    InstanceMask,
+    draw_boxes,
+    instance_color,
+    overlay_masks,
+    save_pgm,
+    save_ppm,
+)
+
+
+def base_image(shape=(40, 60)):
+    return np.full((*shape, 3), 100, dtype=np.uint8)
+
+
+class TestOverlay:
+    def test_blends_inside_mask_only(self):
+        image = base_image()
+        mask = np.zeros((40, 60), bool)
+        mask[10:20, 10:20] = True
+        out = overlay_masks(image, [InstanceMask(1, "x", mask)], alpha=0.5, outline=False)
+        assert (out[0, 0] == 100).all()  # untouched outside
+        assert not (out[15, 15] == 100).all()  # blended inside
+        assert out.dtype == np.uint8
+
+    def test_outline_uses_full_color(self):
+        image = base_image()
+        mask = np.zeros((40, 60), bool)
+        mask[10:20, 10:20] = True
+        out = overlay_masks(image, [InstanceMask(1, "x", mask)], outline=True)
+        assert np.allclose(out[10, 10], instance_color(1))
+
+    def test_accepts_grayscale_input(self):
+        gray = np.full((40, 60), 90, dtype=np.uint8)
+        mask = np.zeros((40, 60), bool)
+        mask[5:10, 5:10] = True
+        out = overlay_masks(gray, [InstanceMask(2, "x", mask)])
+        assert out.shape == (40, 60, 3)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            overlay_masks(base_image(), [InstanceMask(1, "x", np.zeros((5, 5), bool))])
+
+    def test_stable_colors(self):
+        assert np.allclose(instance_color(3), instance_color(3))
+        assert not np.allclose(instance_color(3), instance_color(4))
+
+
+class TestDrawBoxes:
+    def test_outline_drawn(self):
+        out = draw_boxes(base_image(), [(10, 5, 30, 25)])
+        assert not (out[5, 10:30] == 100).all(axis=-1).any()
+        assert (out[15, 15] == 100).all()  # interior untouched
+
+    def test_clipped_box(self):
+        out = draw_boxes(base_image(), [(-10, -10, 10, 10)])
+        assert out.shape == (40, 60, 3)
+
+    def test_degenerate_skipped(self):
+        out = draw_boxes(base_image(), [(30, 30, 30, 30)])
+        assert (out == base_image()).all()
+
+
+class TestExport:
+    def test_ppm_roundtrip(self, tmp_path):
+        image = np.random.default_rng(0).integers(0, 256, (12, 10, 3), dtype=np.uint8)
+        path = tmp_path / "sub" / "test.ppm"
+        save_ppm(path, image)
+        data = path.read_bytes()
+        header, pixels = data.split(b"255\n", 1)
+        assert header == b"P6\n10 12\n"
+        assert np.array_equal(
+            np.frombuffer(pixels, dtype=np.uint8).reshape(12, 10, 3), image
+        )
+
+    def test_pgm_roundtrip(self, tmp_path):
+        gray = np.random.default_rng(1).integers(0, 256, (8, 6)).astype(np.float32)
+        path = tmp_path / "g.pgm"
+        save_pgm(path, gray)
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n6 8\n255\n")
+
+    def test_bad_shapes_raise(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_ppm(tmp_path / "x.ppm", np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            save_pgm(tmp_path / "x.pgm", np.zeros((4, 4, 3)))

@@ -1,0 +1,114 @@
+"""Tests for frame utilities: grayscale, filtering, entropy, VideoFrame."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.image import (
+    VideoFrame,
+    block_entropy,
+    downsample,
+    gaussian_blur,
+    image_entropy,
+    sobel_gradients,
+    to_grayscale,
+)
+
+
+class TestGrayscale:
+    def test_bt601_weights(self):
+        red = np.zeros((2, 2, 3), dtype=np.uint8)
+        red[..., 0] = 255
+        assert np.allclose(to_grayscale(red), 255 * 0.299)
+
+    def test_gray_passthrough(self):
+        gray = np.random.default_rng(0).uniform(0, 255, (5, 5)).astype(np.float32)
+        assert np.allclose(to_grayscale(gray), gray)
+
+    def test_white_is_255(self):
+        white = np.full((3, 3, 3), 255, dtype=np.uint8)
+        assert np.allclose(to_grayscale(white), 255.0, atol=0.1)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            to_grayscale(np.zeros((4, 4, 2)))
+
+
+class TestFilters:
+    def test_blur_preserves_mean(self):
+        rng = np.random.default_rng(1)
+        image = rng.uniform(0, 255, (60, 60)).astype(np.float32)
+        blurred = gaussian_blur(image, sigma=2.0)
+        assert blurred.mean() == pytest.approx(image.mean(), rel=0.02)
+        assert blurred.std() < image.std()
+
+    def test_sobel_responds_to_edges(self):
+        image = np.zeros((40, 40), dtype=np.float32)
+        image[:, 20:] = 200.0
+        gx, gy = sobel_gradients(image)
+        assert np.abs(gx[:, 18:22]).max() > 100
+        assert np.abs(gy).max() < np.abs(gx).max()
+
+    def test_downsample_halves(self):
+        image = np.random.default_rng(2).uniform(0, 255, (64, 80)).astype(np.float32)
+        small = downsample(image, 2)
+        assert small.shape == (32, 40)
+
+    def test_downsample_factor_one_identity(self):
+        image = np.random.default_rng(3).uniform(0, 255, (10, 10)).astype(np.float32)
+        assert np.allclose(downsample(image, 1), image)
+
+
+class TestEntropy:
+    def test_flat_zero(self):
+        assert image_entropy(np.full((20, 20), 100.0)) == 0.0
+
+    def test_uniform_noise_high(self):
+        noise = np.random.default_rng(4).uniform(0, 255, (64, 64))
+        assert image_entropy(noise, bins=32) > 4.5
+
+    def test_empty(self):
+        assert image_entropy(np.zeros((0, 0))) == 0.0
+
+    def test_block_entropy_shape(self):
+        image = np.random.default_rng(5).uniform(0, 255, (50, 70))
+        blocks = block_entropy(image, 16)
+        assert blocks.shape == (4, 5)
+
+    def test_block_entropy_localizes_texture(self):
+        image = np.full((64, 64), 100.0, dtype=np.float32)
+        image[:16, :16] = np.random.default_rng(6).uniform(0, 255, (16, 16))
+        blocks = block_entropy(image, 16)
+        assert blocks[0, 0] > 3.0
+        assert blocks[2, 2] == 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        scale=st.floats(1.0, 80.0),
+        offset=st.floats(0.0, 150.0),
+    )
+    def test_property_entropy_bounded(self, scale, offset):
+        rng = np.random.default_rng(7)
+        image = np.clip(offset + rng.uniform(0, scale, (32, 32)), 0, 255)
+        value = image_entropy(image, bins=32)
+        assert 0.0 <= value <= 5.0  # log2(32)
+
+
+class TestVideoFrame:
+    def make(self):
+        image = np.random.default_rng(8).integers(0, 256, (24, 32, 3), dtype=np.uint8)
+        return VideoFrame(index=3, timestamp=0.1, image=image)
+
+    def test_properties(self):
+        frame = self.make()
+        assert frame.height == 24 and frame.width == 32
+        assert frame.shape == (24, 32)
+
+    def test_gray_cached(self):
+        frame = self.make()
+        assert frame.gray is frame.gray  # same object: computed once
+
+    def test_bad_image_raises(self):
+        with pytest.raises(ValueError):
+            VideoFrame(index=0, timestamp=0.0, image=np.zeros((10, 10)))

@@ -1,0 +1,152 @@
+"""Unit + property tests for masks, IoU and label maps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.image import (
+    InstanceMask,
+    bounding_box,
+    box_iou,
+    label_map_to_masks,
+    mask_area,
+    mask_iou,
+    masks_to_label_map,
+)
+
+
+def disk_mask(shape, center, radius):
+    rr, cc = np.mgrid[0 : shape[0], 0 : shape[1]]
+    return (rr - center[0]) ** 2 + (cc - center[1]) ** 2 <= radius**2
+
+
+class TestMaskIoU:
+    def test_identical_masks(self):
+        mask = disk_mask((40, 40), (20, 20), 8)
+        assert mask_iou(mask, mask) == 1.0
+
+    def test_disjoint_masks(self):
+        a = disk_mask((40, 40), (10, 10), 4)
+        b = disk_mask((40, 40), (30, 30), 4)
+        assert mask_iou(a, b) == 0.0
+
+    def test_both_empty_is_one(self):
+        empty = np.zeros((10, 10), dtype=bool)
+        assert mask_iou(empty, empty) == 1.0
+
+    def test_one_empty_is_zero(self):
+        empty = np.zeros((10, 10), dtype=bool)
+        full = np.ones((10, 10), dtype=bool)
+        assert mask_iou(empty, full) == 0.0
+
+    def test_half_overlap(self):
+        a = np.zeros((10, 10), dtype=bool)
+        b = np.zeros((10, 10), dtype=bool)
+        a[:, :6] = True  # 60 px
+        b[:, 4:] = True  # 60 px, overlap 20 px
+        assert mask_iou(a, b) == pytest.approx(20 / 100)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mask_iou(np.zeros((5, 5), bool), np.zeros((6, 6), bool))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=hnp.arrays(bool, (12, 12)),
+        b=hnp.arrays(bool, (12, 12)),
+    )
+    def test_property_symmetric_and_bounded(self, a, b):
+        value = mask_iou(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == mask_iou(b, a)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=hnp.arrays(bool, (12, 12)))
+    def test_property_self_iou_is_one(self, a):
+        assert mask_iou(a, a) == 1.0
+
+
+class TestBoxIoU:
+    def test_identical(self):
+        assert box_iou([0, 0, 10, 10], [0, 0, 10, 10]) == 1.0
+
+    def test_disjoint(self):
+        assert box_iou([0, 0, 5, 5], [6, 6, 10, 10]) == 0.0
+
+    def test_known_overlap(self):
+        # 10x10 and 10x10 shifted by 5 in x: intersection 50, union 150.
+        assert box_iou([0, 0, 10, 10], [5, 0, 15, 10]) == pytest.approx(50 / 150)
+
+    def test_degenerate_boxes(self):
+        assert box_iou([3, 3, 3, 3], [3, 3, 3, 3]) == 0.0
+
+
+class TestBoundingBox:
+    def test_empty_returns_none(self):
+        assert bounding_box(np.zeros((5, 5), bool)) is None
+
+    def test_single_pixel(self):
+        mask = np.zeros((10, 10), bool)
+        mask[3, 7] = True
+        assert bounding_box(mask) == (7, 3, 8, 4)
+
+    def test_rectangle(self):
+        mask = np.zeros((20, 20), bool)
+        mask[5:10, 2:8] = True
+        assert bounding_box(mask) == (2, 5, 8, 10)
+
+    def test_area(self):
+        mask = np.zeros((20, 20), bool)
+        mask[5:10, 2:8] = True
+        assert mask_area(mask) == 30
+
+
+class TestInstanceMask:
+    def test_properties(self):
+        raster = disk_mask((30, 30), (15, 15), 5)
+        instance = InstanceMask(instance_id=3, class_label="car", mask=raster)
+        assert instance.area == raster.sum()
+        assert not instance.is_empty
+        assert instance.box is not None
+        assert instance.iou(instance) == 1.0
+
+    def test_copy_is_independent(self):
+        raster = disk_mask((30, 30), (15, 15), 5)
+        instance = InstanceMask(1, "car", raster)
+        clone = instance.copy()
+        clone.mask[:] = False
+        assert instance.area > 0
+
+
+class TestLabelMaps:
+    def test_roundtrip(self):
+        shape = (24, 24)
+        masks = [
+            InstanceMask(1, "car", disk_mask(shape, (8, 8), 4)),
+            InstanceMask(2, "person", disk_mask(shape, (16, 16), 4)),
+        ]
+        label_map = masks_to_label_map(masks, shape)
+        recovered = label_map_to_masks(label_map, {1: "car", 2: "person"})
+        assert len(recovered) == 2
+        by_id = {m.instance_id: m for m in recovered}
+        assert by_id[1].class_label == "car"
+        # Non-overlapping disks roundtrip exactly.
+        assert mask_iou(by_id[1].mask, masks[0].mask) == 1.0
+
+    def test_overlap_painters_order(self):
+        shape = (10, 10)
+        a = np.zeros(shape, bool)
+        a[2:8, 2:8] = True
+        b = np.zeros(shape, bool)
+        b[4:6, 4:6] = True
+        label_map = masks_to_label_map(
+            [InstanceMask(1, "x", a), InstanceMask(2, "y", b)], shape
+        )
+        assert label_map[5, 5] == 2
+        assert label_map[2, 2] == 1
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            masks_to_label_map([InstanceMask(1, "x", np.zeros((5, 5), bool))], (6, 6))

@@ -1,0 +1,87 @@
+"""Tests for the contour-vertex mask wire format (Section VI-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import decode_masks, encode_masks, encoded_size_bytes
+from repro.image import InstanceMask, mask_iou
+
+
+def disk_mask(shape, center, radius):
+    rr, cc = np.mgrid[0 : shape[0], 0 : shape[1]]
+    return (rr - center[0]) ** 2 + (cc - center[1]) ** 2 <= radius**2
+
+
+class TestRoundtrip:
+    def test_single_instance(self):
+        shape = (120, 160)
+        instance = InstanceMask(7, "oil_separator", disk_mask(shape, (60, 80), 25), 0.93)
+        decoded = decode_masks(encode_masks([instance]), shape)
+        assert len(decoded) == 1
+        out = decoded[0]
+        assert out.instance_id == 7
+        assert out.class_label == "oil_separator"
+        assert out.score == pytest.approx(0.93, abs=1e-3)
+        assert mask_iou(out.mask, instance.mask) > 0.93
+
+    def test_multiple_instances(self):
+        shape = (120, 160)
+        masks = [
+            InstanceMask(1, "car", disk_mask(shape, (40, 40), 18)),
+            InstanceMask(2, "person", disk_mask(shape, (80, 120), 22)),
+        ]
+        decoded = decode_masks(encode_masks(masks), shape)
+        assert [m.instance_id for m in decoded] == [1, 2]
+        for original, restored in zip(masks, decoded):
+            assert mask_iou(original.mask, restored.mask) > 0.9
+
+    def test_multi_component_instance(self):
+        shape = (80, 80)
+        raster = disk_mask(shape, (20, 20), 10) | disk_mask(shape, (60, 60), 10)
+        instance = InstanceMask(3, "split", raster)
+        decoded = decode_masks(encode_masks([instance]), shape)
+        assert mask_iou(decoded[0].mask, raster) > 0.88
+
+    def test_empty_list(self):
+        assert decode_masks(encode_masks([]), (10, 10)) == []
+
+    def test_empty_mask_instance(self):
+        instance = InstanceMask(1, "ghost", np.zeros((20, 20), bool))
+        decoded = decode_masks(encode_masks([instance]), (20, 20))
+        assert decoded[0].is_empty
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode_masks(b"nope" + b"\x00" * 10, (10, 10))
+
+
+class TestSizes:
+    def test_wire_size_scales_with_contour_not_area(self):
+        shape = (240, 320)
+        small = InstanceMask(1, "a", disk_mask(shape, (120, 160), 12))
+        large = InstanceMask(1, "a", disk_mask(shape, (120, 160), 80))
+        size_small = encoded_size_bytes([small])
+        size_large = encoded_size_bytes([large])
+        # Contour coding: the large disk costs more, but nowhere near the
+        # 44x its pixel area would suggest.
+        assert size_small < size_large < 8 * size_small
+
+    def test_kilobyte_scale(self):
+        shape = (240, 320)
+        masks = [
+            InstanceMask(i, "obj", disk_mask(shape, (60 + 30 * i, 80 + 40 * i), 20))
+            for i in range(4)
+        ]
+        total = encoded_size_bytes(masks)
+        assert 200 < total < 6000  # a few kB for a typical result set
+
+    @settings(max_examples=20, deadline=None)
+    @given(radius=st.integers(5, 30), cy=st.integers(35, 85), cx=st.integers(35, 125))
+    def test_property_roundtrip_quality(self, radius, cy, cx):
+        shape = (120, 160)
+        raster = disk_mask(shape, (cy, cx), radius)
+        instance = InstanceMask(1, "x", raster)
+        decoded = decode_masks(encode_masks([instance]), shape)
+        assert mask_iou(decoded[0].mask, raster) > 0.85

@@ -1,0 +1,287 @@
+"""Tests for the simulated segmentation models and CIIA acceleration."""
+
+import numpy as np
+import pytest
+
+from repro.image import InstanceMask, mask_iou
+from repro.model import (
+    AnchorGrid,
+    InferenceInstruction,
+    SimulatedSegmentationModel,
+    box_iou_matrix,
+    degrade_mask_to_iou,
+    dynamic_anchor_placement,
+    fast_nms,
+    instructions_from_masks,
+    nms,
+    prune_rois,
+    simulate_rpn,
+)
+from repro.model.costs import MODEL_COSTS
+from repro.model.rpn import Proposal
+
+
+def disk_mask(shape, center, radius):
+    rr, cc = np.mgrid[0 : shape[0], 0 : shape[1]]
+    return (rr - center[0]) ** 2 + (cc - center[1]) ** 2 <= radius**2
+
+
+class TestAnchorGrid:
+    def test_level_structure(self):
+        grid = AnchorGrid(240, 320)
+        assert [l.name for l in grid.levels] == ["P2", "P3", "P4", "P5", "P6"]
+        p2 = grid.level("P2")
+        assert p2.grid_height == 60 and p2.grid_width == 80
+        assert p2.num_anchors == 60 * 80 * 3
+
+    def test_total_counts(self):
+        grid = AnchorGrid(240, 320)
+        assert grid.total_locations == sum(l.num_locations for l in grid.levels)
+        assert grid.total_anchors == 3 * grid.total_locations
+
+    def test_anchor_boxes_centered(self):
+        grid = AnchorGrid(240, 320)
+        p4 = grid.level("P4")
+        boxes = p4.boxes.reshape(p4.num_locations, 3, 4)
+        centers = (boxes[..., :2] + boxes[..., 2:]) / 2.0
+        assert np.allclose(centers, p4.centers[:, None, :])
+
+    def test_locations_in_boxes(self):
+        grid = AnchorGrid(240, 320)
+        masks = grid.locations_in_boxes(np.array([[100, 80, 180, 160]]), margin=0.0)
+        p2 = grid.level("P2")
+        selected = masks["P2"]
+        inside = p2.centers[selected]
+        assert (inside[:, 0] >= 100).all() and (inside[:, 0] <= 180).all()
+        # Selection is a strict subset.
+        assert 0 < selected.sum() < p2.num_locations
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(KeyError):
+            AnchorGrid(64, 64).level("P9")
+
+
+class TestNMS:
+    def test_iou_matrix_known_values(self):
+        a = np.array([[0, 0, 10, 10]])
+        b = np.array([[0, 0, 10, 10], [5, 0, 15, 10], [20, 20, 30, 30]])
+        iou = box_iou_matrix(a, b)[0]
+        assert iou[0] == pytest.approx(1.0)
+        assert iou[1] == pytest.approx(50 / 150)
+        assert iou[2] == 0.0
+
+    def test_nms_suppresses_overlaps(self):
+        boxes = np.array([[0, 0, 10, 10], [1, 1, 11, 11], [30, 30, 40, 40]])
+        scores = np.array([0.9, 0.8, 0.7])
+        keep = nms(boxes, scores, iou_threshold=0.5)
+        assert list(keep) == [0, 2]
+
+    def test_fast_nms_matches_greedy_on_simple_case(self):
+        boxes = np.array([[0, 0, 10, 10], [1, 1, 11, 11], [30, 30, 40, 40]])
+        scores = np.array([0.9, 0.8, 0.7])
+        assert set(fast_nms(boxes, scores, 0.5)) == set(nms(boxes, scores, 0.5))
+
+    def test_fast_nms_empty(self):
+        assert len(fast_nms(np.zeros((0, 4)), np.zeros(0))) == 0
+
+
+class TestDegrade:
+    @pytest.mark.parametrize("target", [0.95, 0.85, 0.7])
+    def test_hits_target_iou(self, target):
+        mask = disk_mask((120, 160), (60, 80), 30)
+        rng = np.random.default_rng(0)
+        achieved = [
+            mask_iou(mask, degrade_mask_to_iou(mask, target, rng)) for _ in range(10)
+        ]
+        # Degradation should land at or slightly below the target.
+        assert np.median(achieved) == pytest.approx(target, abs=0.08)
+        assert max(achieved) <= target + 0.05
+
+    def test_empty_mask_passthrough(self):
+        empty = np.zeros((20, 20), bool)
+        out = degrade_mask_to_iou(empty, 0.8, np.random.default_rng(0))
+        assert not out.any()
+
+    def test_perfect_target_is_identity(self):
+        mask = disk_mask((40, 40), (20, 20), 8)
+        out = degrade_mask_to_iou(mask, 1.0, np.random.default_rng(0))
+        assert mask_iou(mask, out) == 1.0
+
+
+class TestRPN:
+    def test_full_grid_produces_budget_proposals(self):
+        grid = AnchorGrid(240, 320)
+        gt = np.array([[100, 80, 180, 160]])
+        out = simulate_rpn(grid, gt, np.random.default_rng(0), max_proposals=500)
+        assert len(out.proposals) == 500
+        assert out.location_fraction == 1.0
+        assert out.anchors_evaluated == grid.total_anchors
+
+    def test_top_proposals_cover_object(self):
+        grid = AnchorGrid(240, 320)
+        gt = np.array([[100, 80, 180, 160]])
+        out = simulate_rpn(grid, gt, np.random.default_rng(0), max_proposals=300)
+        top = out.proposals[:20]
+        # The best-scoring proposals overlap the object strongly.
+        assert np.mean([p.best_gt_iou for p in top]) > 0.5
+
+    def test_restricted_locations_cut_work(self):
+        grid = AnchorGrid(240, 320)
+        gt = np.array([[100, 80, 180, 160]])
+        masks = grid.locations_in_boxes(gt, margin=0.3)
+        out = simulate_rpn(
+            grid, gt, np.random.default_rng(0), location_masks=masks
+        )
+        assert out.location_fraction < 0.5
+        assert out.anchors_evaluated < grid.total_anchors / 2
+
+
+class TestPruning:
+    def make_proposals(self, rng, count, center_box):
+        proposals = []
+        for _ in range(count):
+            jitter = rng.normal(scale=8.0, size=4)
+            proposals.append(
+                Proposal(
+                    box=np.asarray(center_box, dtype=float) + jitter,
+                    objectness=float(rng.uniform(0.4, 1.0)),
+                    best_gt_index=0,
+                    best_gt_iou=float(rng.uniform(0.4, 1.0)),
+                )
+            )
+        return proposals
+
+    def test_dominance_rule(self):
+        # Hand-built case of Fig. 7: RoI with both lower confidence and
+        # lower init-box IoU must be pruned.
+        init = np.array([100.0, 100.0, 200.0, 200.0])
+        instruction = InferenceInstruction(box=init, class_label="car")
+        good = Proposal(np.array([102, 101, 198, 199.0]), 0.9, 0, 0.9)
+        dominated = Proposal(np.array([120, 120, 180, 180.0]), 0.6, 0, 0.6)
+        better_loc = Proposal(np.array([100, 100, 200, 200.0]), 0.5, 0, 0.5)
+        result = prune_rois(
+            [good, dominated, better_loc], [instruction], np.array([0.9, 0.6, 0.5])
+        )
+        kept_boxes = [tuple(p.box) for p in result.kept]
+        assert tuple(good.box) in kept_boxes
+        assert tuple(dominated.box) not in kept_boxes  # dominated by `good`
+        assert tuple(better_loc.box) in kept_boxes  # lower conf but better IoU
+
+    def test_prune_reduces_count_substantially(self):
+        rng = np.random.default_rng(1)
+        instruction = InferenceInstruction(
+            box=np.array([100.0, 100.0, 200.0, 200.0]), class_label="car"
+        )
+        proposals = self.make_proposals(rng, 200, [100, 100, 200, 200])
+        confidences = np.array([p.objectness for p in proposals])
+        result = prune_rois(proposals, [instruction], confidences)
+        assert result.num_kept < 0.3 * result.num_input
+        assert result.num_pruned_dominated > 0
+
+    def test_unknown_areas_use_fast_nms(self):
+        rng = np.random.default_rng(2)
+        proposals = self.make_proposals(rng, 50, [300, 300, 380, 380])
+        instruction = InferenceInstruction(
+            box=np.array([0.0, 0.0, 50.0, 50.0]), class_label="car"
+        )
+        confidences = np.array([p.objectness for p in proposals])
+        result = prune_rois(proposals, [instruction], confidences)
+        assert result.num_pruned_dominated == 0
+        assert result.num_pruned_nms > 0
+
+    def test_empty(self):
+        result = prune_rois([], [], np.zeros(0))
+        assert result.num_input == 0 and result.kept == []
+
+
+class TestSimulatedModel:
+    def scene(self):
+        shape = (240, 320)
+        masks = [
+            InstanceMask(1, "car", disk_mask(shape, (120, 120), 40)),
+            InstanceMask(2, "person", disk_mask(shape, (80, 240), 25)),
+        ]
+        return shape, masks
+
+    def test_full_frame_latency_calibration(self):
+        # Paper Fig. 2b: Mask R-CNN ~400 ms, YOLACT ~120 ms, YOLOv3 ~30 ms.
+        assert MODEL_COSTS["mask_rcnn_r101"].full_frame_latency() == pytest.approx(400, abs=15)
+        assert MODEL_COSTS["yolact_r50"].full_frame_latency() == pytest.approx(120, abs=10)
+        assert MODEL_COSTS["yolov3"].full_frame_latency(0) == pytest.approx(30, abs=5)
+
+    def test_mask_rcnn_quality(self):
+        shape, masks = self.scene()
+        model = SimulatedSegmentationModel("mask_rcnn_r101", rng=np.random.default_rng(0))
+        result = model.infer(masks, shape)
+        assert len(result.masks) == 2
+        ious = [
+            mask_iou(d.mask, next(m for m in masks if m.instance_id == d.instance_id).mask)
+            for d in result.masks
+        ]
+        assert np.mean(ious) > 0.85
+
+    def test_yolact_coarser_but_faster(self):
+        shape, masks = self.scene()
+        rng = np.random.default_rng(0)
+        mask_rcnn = SimulatedSegmentationModel("mask_rcnn_r101", rng=rng)
+        yolact = SimulatedSegmentationModel("yolact_r50", rng=np.random.default_rng(0))
+        result_m = mask_rcnn.infer(masks, shape)
+        result_y = yolact.infer(masks, shape)
+        assert result_y.total_ms < result_m.total_ms / 2
+        iou_y = np.mean(
+            [
+                mask_iou(d.mask, next(m for m in masks if m.instance_id == d.instance_id).mask)
+                for d in result_y.masks
+            ]
+        )
+        assert iou_y < 0.88
+
+    def test_acceleration_shape_matches_fig14(self):
+        shape, masks = self.scene()
+        model = SimulatedSegmentationModel("mask_rcnn_r101", rng=np.random.default_rng(0))
+        instructions = instructions_from_masks(masks)
+        full = model.infer(masks, shape, instructions=None)
+        dap = model.infer(masks, shape, instructions=instructions, use_roi_pruning=False)
+        prune = model.infer(masks, shape, instructions=instructions, use_dynamic_anchors=False)
+        both = model.infer(masks, shape, instructions=instructions)
+        # DAP cuts RPN-stage latency substantially (paper: -46%).
+        assert 0.25 < 1 - dap.rpn_ms / full.rpn_ms < 0.75
+        # Pruning cuts inference latency (paper: -43%).
+        assert 0.25 < 1 - prune.inference_ms / full.inference_ms < 0.75
+        assert prune.rpn_ms == pytest.approx(full.rpn_ms)
+        # Combined cuts total latency by about half (paper: -48%).
+        assert 0.35 < 1 - both.total_ms / full.total_ms < 0.75
+        # Accuracy preserved: detections still cover both objects.
+        assert len(both.masks) == 2
+
+    def test_device_scaling(self):
+        shape, masks = self.scene()
+        tx2 = SimulatedSegmentationModel("mask_rcnn_r101", "jetson_tx2", np.random.default_rng(0))
+        xavier = SimulatedSegmentationModel("mask_rcnn_r101", "jetson_xavier", np.random.default_rng(0))
+        assert xavier.infer(masks, shape).total_ms < tx2.infer(masks, shape).total_ms
+
+    def test_no_detection_outside_instructed_area(self):
+        shape, masks = self.scene()
+        model = SimulatedSegmentationModel("mask_rcnn_r101", rng=np.random.default_rng(0))
+        # Instruct only around instance 1; instance 2 has no coverage and
+        # no new-area box, so no RoI can cover it.
+        instructions = instructions_from_masks([masks[0]])
+        result = model.infer(masks, shape, instructions=instructions)
+        detected_ids = {d.instance_id for d in result.masks}
+        assert 1 in detected_ids
+        assert 2 not in detected_ids
+
+    def test_new_area_boxes_restore_recall(self):
+        shape, masks = self.scene()
+        model = SimulatedSegmentationModel("mask_rcnn_r101", rng=np.random.default_rng(0))
+        instructions = instructions_from_masks(
+            [masks[0]], new_area_boxes=[np.array([180, 30, 310, 130])]
+        )
+        result = model.infer(masks, shape, instructions=instructions)
+        assert {d.instance_id for d in result.masks} == {1, 2}
+
+    def test_empty_scene(self):
+        model = SimulatedSegmentationModel("mask_rcnn_r101", rng=np.random.default_rng(0))
+        result = model.infer([], (240, 320))
+        assert result.masks == []
+        assert result.total_ms > 0

@@ -1,0 +1,57 @@
+"""Unit tests for the latency cost model and device profiles."""
+
+import numpy as np
+import pytest
+
+from repro.model import DEVICES, MODEL_COSTS, DeviceProfile, ModelCost
+
+
+class TestDeviceProfiles:
+    def test_tx2_is_reference(self):
+        assert DEVICES["jetson_tx2"].speed == 1.0
+        assert DEVICES["jetson_tx2"].scale(100.0) == 100.0
+
+    def test_speed_ordering(self):
+        assert (
+            DEVICES["mobile_npu"].speed
+            < DEVICES["jetson_tx2"].speed
+            < DEVICES["jetson_xavier"].speed
+            < DEVICES["titan_v"].speed
+        )
+
+    def test_scaling_inverse_to_speed(self):
+        xavier = DEVICES["jetson_xavier"]
+        assert xavier.scale(220.0) == pytest.approx(100.0)
+
+    def test_mobile_seconds_per_frame(self):
+        mobile = DEVICES["mobile_npu"]
+        full = MODEL_COSTS["mask_rcnn_r101"].full_frame_latency()
+        assert 3000 < mobile.scale(full) < 4500  # TFLite-class
+
+
+class TestModelCost:
+    def test_rpn_latency_linear_in_fraction(self):
+        cost = MODEL_COSTS["mask_rcnn_r101"]
+        empty = cost.rpn_latency(0.0)
+        full = cost.rpn_latency(1.0)
+        half = cost.rpn_latency(0.5)
+        assert empty == cost.rpn_fixed_ms
+        assert half == pytest.approx((empty + full) / 2)
+
+    def test_inference_latency_monotone(self):
+        cost = MODEL_COSTS["mask_rcnn_r101"]
+        few = cost.inference_latency(100, 50, 2)
+        many = cost.inference_latency(1000, 500, 5)
+        assert few < many
+
+    def test_single_stage_models_fixed(self):
+        for name in ("yolact_r50", "yolov3"):
+            cost = MODEL_COSTS[name]
+            assert cost.rpn_variable_ms == 0.0
+            assert cost.per_proposal_ms == 0.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEVICES["jetson_tx2"].speed = 2.0
+        with pytest.raises(Exception):
+            MODEL_COSTS["yolov3"].rpn_fixed_ms = 1.0

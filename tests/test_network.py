@@ -1,0 +1,67 @@
+"""Tests for the wireless channel models."""
+
+import numpy as np
+import pytest
+
+from repro.network import CHANNELS, Channel, make_channel
+
+
+class TestChannels:
+    def test_profiles_exist(self):
+        assert set(CHANNELS) == {"wifi_5ghz", "wifi_2.4ghz", "lte"}
+
+    def test_unknown_channel_raises(self):
+        with pytest.raises(ValueError):
+            make_channel("5g_mmwave")
+
+    def test_latency_increases_with_bytes(self):
+        channel = make_channel("wifi_5ghz", np.random.default_rng(0))
+        small = np.median([channel.uplink_ms(1_000) for _ in range(50)])
+        large = np.median([channel.uplink_ms(1_000_000) for _ in range(50)])
+        assert large > small
+
+    def test_channel_ordering(self):
+        """WiFi 5 GHz beats 2.4 GHz beats LTE for a typical keyframe."""
+        payload = 30_000
+        medians = {}
+        for name in CHANNELS:
+            channel = make_channel(name, np.random.default_rng(1))
+            medians[name] = np.median(
+                [channel.uplink_ms(payload) for _ in range(100)]
+            )
+        assert medians["wifi_5ghz"] < medians["wifi_2.4ghz"] < medians["lte"]
+
+    def test_serialization_math(self):
+        # With jitter suppressed, latency ~ rtt/2 + size/bandwidth.
+        profile = CHANNELS["wifi_5ghz"]
+        channel = Channel(profile, np.random.default_rng(2))
+        expected = profile.rtt_ms / 2 + 100_000 * 8 / (profile.uplink_mbps * 1e6) * 1000
+        observed = np.median([channel.uplink_ms(100_000) for _ in range(300)])
+        assert observed == pytest.approx(expected, rel=0.25)
+
+    def test_byte_accounting(self):
+        channel = make_channel("lte", np.random.default_rng(3))
+        channel.uplink_ms(1000)
+        channel.uplink_ms(2000)
+        channel.downlink_ms(500)
+        assert channel.bytes_up == 3000
+        assert channel.bytes_down == 500
+
+    def test_downlink_faster_than_uplink_on_lte(self):
+        channel = make_channel("lte", np.random.default_rng(4))
+        up = np.median([channel.uplink_ms(200_000) for _ in range(80)])
+        down = np.median([channel.downlink_ms(200_000) for _ in range(80)])
+        assert down < up
+
+    def test_loss_adds_stalls(self):
+        from repro.network.channel import ChannelProfile
+
+        lossy = Channel(
+            ChannelProfile("lossy", 100, 100, 10, 0.0, 1.0),
+            np.random.default_rng(5),
+        )
+        clean = Channel(
+            ChannelProfile("clean", 100, 100, 10, 0.0, 0.0),
+            np.random.default_rng(5),
+        )
+        assert lossy.uplink_ms(1000) > clean.uplink_ms(1000)

@@ -1,0 +1,161 @@
+"""Cross-module property-based tests on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry import SE3, PinholeCamera, dlt_pose
+from repro.image import fill_contour, find_contours, mask_iou, resample_contour
+from repro.model import box_iou_matrix, degrade_mask_to_iou, fast_nms, nms
+from repro.model.degrade import sample_target_iou
+
+
+# ----------------------------------------------------------------------
+# Geometry
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    xi=st.lists(st.floats(-0.5, 0.5), min_size=6, max_size=6),
+    seed=st.integers(0, 1000),
+)
+def test_dlt_pose_recovers_exact_pose(xi, seed):
+    camera = PinholeCamera.with_fov(320, 240, 64.0)
+    pose = SE3.exp(np.array(xi))
+    rng = np.random.default_rng(seed)
+    points = np.column_stack(
+        [rng.uniform(-2, 2, 12), rng.uniform(-2, 2, 12), rng.uniform(4, 10, 12)]
+    )
+    # Points defined in the camera frame of the *true* pose: move to world.
+    points_world = pose.inverse().transform(points)
+    pixels, _ = camera.project(points)
+    recovered = dlt_pose(camera, points_world, pixels)
+    assert recovered.allclose(pose, atol=1e-4) or (
+        recovered.rotation_angle_to(pose) < 1e-3
+        and recovered.translation_distance_to(pose) < 1e-3
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fov=st.floats(30.0, 110.0),
+    depth=st.floats(0.5, 50.0),
+    u=st.floats(0.0, 319.0),
+    v=st.floats(0.0, 239.0),
+)
+def test_project_backproject_inverse(fov, depth, u, v):
+    camera = PinholeCamera.with_fov(320, 240, fov)
+    point = camera.backproject(np.array([[u, v]]), np.array([depth]))[0]
+    pixel, z = camera.project(point)
+    assert abs(z[0] - depth) < 1e-9
+    assert np.allclose(pixel[0], [u, v], atol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# NMS
+# ----------------------------------------------------------------------
+def _random_boxes(rng, count):
+    x0 = rng.uniform(0, 200, count)
+    y0 = rng.uniform(0, 200, count)
+    w = rng.uniform(5, 80, count)
+    h = rng.uniform(5, 80, count)
+    return np.column_stack([x0, y0, x0 + w, y0 + h])
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), count=st.integers(1, 40))
+def test_nms_kept_boxes_mutually_separated(seed, count):
+    rng = np.random.default_rng(seed)
+    boxes = _random_boxes(rng, count)
+    scores = rng.uniform(0, 1, count)
+    keep = nms(boxes, scores, iou_threshold=0.5)
+    kept = boxes[keep]
+    iou = box_iou_matrix(kept, kept)
+    np.fill_diagonal(iou, 0.0)
+    assert (iou <= 0.5 + 1e-9).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), count=st.integers(1, 40))
+def test_fast_nms_subset_of_input_and_keeps_top(seed, count):
+    rng = np.random.default_rng(seed)
+    boxes = _random_boxes(rng, count)
+    scores = rng.uniform(0, 1, count)
+    keep = fast_nms(boxes, scores, iou_threshold=0.5)
+    assert len(set(keep.tolist())) == len(keep)
+    # The single highest-scoring box always survives.
+    assert int(np.argmax(scores)) in keep.tolist()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), count=st.integers(2, 30))
+def test_fast_nms_never_keeps_more_than_greedy_plus_input(seed, count):
+    rng = np.random.default_rng(seed)
+    boxes = _random_boxes(rng, count)
+    scores = rng.uniform(0, 1, count)
+    fast_kept = fast_nms(boxes, scores, 0.5)
+    assert 1 <= len(fast_kept) <= count
+
+
+# ----------------------------------------------------------------------
+# Contours
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    num_blobs=st.integers(1, 3),
+)
+def test_contour_fill_roundtrip_on_random_blobs(seed, num_blobs):
+    rng = np.random.default_rng(seed)
+    mask = np.zeros((48, 48), dtype=bool)
+    rr, cc = np.mgrid[0:48, 0:48]
+    for _ in range(num_blobs):
+        r = rng.integers(10, 38)
+        c = rng.integers(10, 38)
+        radius = rng.integers(4, 9)
+        mask |= (rr - r) ** 2 + (cc - c) ** 2 <= radius**2
+    reconstructed = np.zeros_like(mask)
+    for contour in find_contours(mask):
+        reconstructed |= fill_contour(contour, mask.shape)
+    assert mask_iou(mask, reconstructed) > 0.9
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), target_points=st.integers(8, 200))
+def test_resample_preserves_closed_shape(seed, target_points):
+    rng = np.random.default_rng(seed)
+    mask = np.zeros((48, 48), dtype=bool)
+    rr, cc = np.mgrid[0:48, 0:48]
+    mask |= (rr - 24) ** 2 + (cc - 24) ** 2 <= int(rng.integers(8, 16)) ** 2
+    contour = find_contours(mask)[0]
+    resampled = resample_contour(contour, target_points)
+    assert resampled.shape == (target_points, 2)
+    refilled = fill_contour(resampled, mask.shape)
+    if target_points >= 24:
+        assert mask_iou(mask, refilled) > 0.8
+
+
+# ----------------------------------------------------------------------
+# Degradation
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    target=st.floats(0.5, 0.99),
+    radius=st.integers(6, 18),
+)
+def test_degrade_never_overshoots_much(seed, target, radius):
+    rng = np.random.default_rng(seed)
+    rr, cc = np.mgrid[0:64, 0:64]
+    mask = (rr - 32) ** 2 + (cc - 32) ** 2 <= radius**2
+    degraded = degrade_mask_to_iou(mask, target, rng)
+    achieved = mask_iou(mask, degraded)
+    assert achieved <= min(target + 0.12, 1.0)
+    assert degraded.any()  # never erases the instance entirely
+
+
+@settings(max_examples=40, deadline=None)
+@given(mean=st.floats(0.4, 0.99), std=st.floats(0.0, 0.2), seed=st.integers(0, 999))
+def test_sample_target_iou_in_range(mean, std, seed):
+    value = sample_target_iou(mean, std, np.random.default_rng(seed))
+    assert 0.35 <= value <= 0.995

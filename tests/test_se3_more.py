@@ -1,0 +1,63 @@
+"""Additional SE(3) behavior tests: retract semantics, matmul dispatch,
+look_at edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import SE3, so3_exp
+
+
+class TestRetract:
+    def test_retract_is_left_multiplicative(self):
+        pose = SE3.exp(np.array([0.1, 0.2, -0.1, 0.05, 0.0, 0.02]))
+        xi = np.array([0.01, -0.02, 0.03, 0.001, 0.002, -0.001])
+        assert pose.retract(xi).allclose(SE3.exp(xi) @ pose)
+
+    def test_zero_retract_identity(self):
+        pose = SE3.exp(np.array([0.4, 0.0, 0.1, 0.2, -0.1, 0.0]))
+        assert pose.retract(np.zeros(6)).allclose(pose)
+
+
+class TestMatmulDispatch:
+    def test_matmul_with_pose_composes(self):
+        a = SE3.exp(np.array([0.1, 0, 0, 0, 0.1, 0]))
+        b = SE3.exp(np.array([0, 0.2, 0, 0.05, 0, 0]))
+        assert (a @ b).allclose(a.compose(b))
+
+    def test_matmul_with_points_transforms(self):
+        pose = SE3.exp(np.array([1.0, 2.0, 3.0, 0, 0, 0]))
+        point = np.array([1.0, 1.0, 1.0])
+        assert np.allclose(pose @ point, point + [1, 2, 3])
+
+    def test_compose_not_commutative(self):
+        a = SE3(so3_exp([0, 0, 0.5]), [1, 0, 0])
+        b = SE3(so3_exp([0.5, 0, 0]), [0, 1, 0])
+        assert not (a @ b).allclose(b @ a)
+
+
+class TestLookAtEdgeCases:
+    def test_straight_down(self):
+        # Forward parallel to the default up vector: needs the fallback axis.
+        pose = SE3.look_at(eye=[0, -5, 0], target=[0, 0, 0])
+        target_camera = pose.transform(np.zeros(3))
+        assert target_camera[2] > 0
+        assert np.allclose(target_camera[:2], 0, atol=1e-9)
+        assert np.isclose(np.linalg.det(pose.rotation), 1.0)
+
+    def test_behind_looking_forward(self):
+        pose = SE3.look_at(eye=[0, 0, 10], target=[0, 0, 0])
+        assert pose.transform(np.zeros(3))[2] == pytest.approx(10.0)
+
+    def test_rotation_orthonormal_for_random_pairs(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            eye = rng.normal(size=3) * 5
+            target = rng.normal(size=3) * 5
+            if np.linalg.norm(eye - target) < 1e-3:
+                continue
+            pose = SE3.look_at(eye, target)
+            assert np.allclose(
+                pose.rotation @ pose.rotation.T, np.eye(3), atol=1e-9
+            )
+            # The eye really is the camera center.
+            assert np.allclose(pose.center, eye, atol=1e-9)

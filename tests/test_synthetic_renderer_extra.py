@@ -1,0 +1,108 @@
+"""Additional renderer tests: depth consistency, label/depth agreement,
+texture determinism and cylinder silhouettes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import SE3, PinholeCamera
+from repro.synthetic import (
+    ProceduralTexture,
+    Renderer,
+    SceneObject,
+    StaticMotion,
+    make_box_mesh,
+    make_cylinder_mesh,
+)
+
+
+def make_renderer(objects, width=160, height=120):
+    camera = PinholeCamera.with_fov(width, height, 64.0)
+    return Renderer(camera, objects), camera
+
+
+def box_at(instance_id, z, size=(1.0, 1.0, 1.0), x=0.0, seed=0):
+    return SceneObject(
+        instance_id,
+        "box",
+        make_box_mesh(size),
+        ProceduralTexture((150, 120, 90), seed),
+        StaticMotion(SE3(np.eye(3), [x, 0.0, z])),
+    )
+
+
+class TestDepthBuffer:
+    def test_depth_matches_geometry(self):
+        renderer, camera = make_renderer([box_at(1, 5.0)])
+        result = renderer.render(SE3.identity(), 0.0)
+        mask = result.instance_mask(1)
+        # Depth inside the mask spans the front face only: z in [4.5, ~5.6]
+        depths = result.depth[mask]
+        assert depths.min() == pytest.approx(4.5, abs=0.05)
+        assert depths.max() < 6.0
+
+    def test_depth_infinite_on_sky(self):
+        renderer, _ = make_renderer([box_at(1, 5.0)])
+        result = renderer.render(SE3.identity(), 0.0)
+        assert np.isinf(result.depth[~(result.label_map > 0)]).all()
+
+    def test_labels_and_depth_consistent(self):
+        # Where two boxes overlap, the label must belong to the smaller depth.
+        near = box_at(1, 4.0, x=0.0)
+        far = box_at(2, 8.0, size=(3.0, 3.0, 1.0), x=0.0)
+        renderer, _ = make_renderer([near, far])
+        result = renderer.render(SE3.identity(), 0.0)
+        near_mask = result.instance_mask(1)
+        far_mask = result.instance_mask(2)
+        assert result.depth[near_mask].max() < result.depth[far_mask].min() + 1e-6
+
+
+class TestDeterminism:
+    def test_same_seed_same_frame(self):
+        r1, _ = make_renderer([box_at(1, 5.0, seed=3)])
+        r2, _ = make_renderer([box_at(1, 5.0, seed=3)])
+        f1 = r1.render(SE3.identity(), 0.0)
+        f2 = r2.render(SE3.identity(), 0.0)
+        assert np.array_equal(f1.frame.image, f2.frame.image)
+        assert np.array_equal(f1.label_map, f2.label_map)
+
+    def test_different_seed_different_texture(self):
+        r1, _ = make_renderer([box_at(1, 5.0, seed=3)])
+        r2, _ = make_renderer([box_at(1, 5.0, seed=4)])
+        f1 = r1.render(SE3.identity(), 0.0)
+        f2 = r2.render(SE3.identity(), 0.0)
+        assert not np.array_equal(f1.frame.image, f2.frame.image)
+
+
+class TestCylinder:
+    def test_cylinder_silhouette_roughly_rectangular(self):
+        cylinder = SceneObject(
+            1,
+            "tank",
+            make_cylinder_mesh(0.8, 2.4, segments=24),
+            ProceduralTexture((120, 140, 160), 5),
+            StaticMotion(SE3(np.eye(3), [0.0, 0.0, 6.0])),
+        )
+        renderer, camera = make_renderer([cylinder])
+        result = renderer.render(SE3.identity(), 0.0)
+        mask = result.instance_mask(1)
+        assert mask.any()
+        # Silhouette width ~ 2r/z * fx, height ~ h/z * fy.
+        cols = mask.any(axis=0).sum()
+        rows = mask.any(axis=1).sum()
+        # The near edge of the cylinder is at z = 6 - r, so the silhouette
+        # is a bit larger than the center-depth estimate.
+        assert cols == pytest.approx(2 * 0.8 / 6.0 * camera.fx, rel=0.25)
+        assert rows == pytest.approx(2.4 / (6.0 - 0.8) * camera.fy, rel=0.2)
+
+    def test_visible_from_above_shows_cap(self):
+        cylinder = SceneObject(
+            1,
+            "tank",
+            make_cylinder_mesh(1.0, 2.0, segments=24),
+            ProceduralTexture((120, 140, 160), 5),
+            StaticMotion(SE3(np.eye(3), [0.0, 0.0, 6.0])),
+        )
+        renderer, camera = make_renderer([cylinder])
+        pose = SE3.look_at(eye=[0.0, -5.0, 2.0], target=[0.0, 0.0, 6.0])
+        result = renderer.render(pose, 0.0)
+        assert result.instance_mask(1).sum() > 200

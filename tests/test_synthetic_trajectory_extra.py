@@ -1,0 +1,78 @@
+"""Extra trajectory tests: arc-length parametrization, sway spectra and
+orbit geometry."""
+
+import numpy as np
+import pytest
+
+from repro.synthetic import MOTION_PRESETS, OrbitTrajectory, WalkTrajectory
+
+
+class TestWalkParametrization:
+    def test_constant_speed_along_route(self):
+        trajectory = WalkTrajectory(
+            np.array([[0, -1.6, 0], [10, -1.6, 0]]),
+            speed=1.0,
+            look_target=np.array([5.0, -1.0, 8.0]),
+            motion_grade="walk",
+        )
+        # Positions at 1-second spacing are ~1 m apart (modulo sway).
+        centers = [trajectory.pose_cw(t).center for t in range(6)]
+        steps = [np.linalg.norm(b - a) for a, b in zip(centers, centers[1:])]
+        assert np.allclose(steps, 1.0, atol=0.15)
+
+    def test_multi_segment_route(self):
+        waypoints = np.array([[0, -1.6, 0], [2, -1.6, 0], [2, -1.6, 2]])
+        trajectory = WalkTrajectory(
+            waypoints, speed=1.0, look_target=np.array([1.0, -1.0, 5.0])
+        )
+        assert trajectory.total_length == pytest.approx(4.0)
+        # After 3 seconds the carrier is on the second segment.
+        center = trajectory.pose_cw(3.0).center
+        assert center[0] == pytest.approx(2.0, abs=0.2)
+        assert center[2] > 0.5
+
+    def test_clamps_at_route_end(self):
+        trajectory = WalkTrajectory(
+            np.array([[0, -1.6, 0], [1, -1.6, 0]]), speed=1.0,
+            look_target=np.array([0.5, -1.0, 5.0]),
+        )
+        end_a = trajectory.pose_cw(10.0).center
+        end_b = trajectory.pose_cw(50.0).center
+        assert np.allclose(end_a, end_b, atol=0.12)  # only sway differs
+
+    def test_sway_amplitude_scales_with_grade(self):
+        waypoints = np.array([[0, -1.6, 0], [100, -1.6, 0]])
+        target = np.array([50.0, -1.0, 8.0])
+        spans = {}
+        for grade in ("walk", "jog"):
+            trajectory = WalkTrajectory(
+                waypoints, speed=0.0001, look_target=target, motion_grade=grade
+            )
+            ys = [trajectory.pose_cw(t / 10).center[1] for t in range(60)]
+            spans[grade] = max(ys) - min(ys)
+        assert spans["jog"] > 2 * spans["walk"]
+
+    def test_presets_cover_paper_grades(self):
+        assert set(MOTION_PRESETS) == {"walk", "stride", "jog"}
+        assert (
+            MOTION_PRESETS["walk"]["speed_scale"]
+            < MOTION_PRESETS["stride"]["speed_scale"]
+            < MOTION_PRESETS["jog"]["speed_scale"]
+        )
+
+
+class TestOrbit:
+    def test_constant_distance_to_center(self):
+        orbit = OrbitTrajectory(center=[1, -1, 5], radius=3.0, height=-0.5)
+        for t in (0.0, 2.0, 7.5):
+            center = orbit.pose_cw(t).center
+            planar = np.linalg.norm((center - np.array([1, -1.5, 5]))[[0, 2]])
+            assert planar == pytest.approx(3.0, abs=1e-9)
+
+    def test_always_faces_center(self):
+        orbit = OrbitTrajectory(center=[0, -1, 6], radius=2.0, height=-0.6)
+        for t in (0.0, 3.0):
+            pose = orbit.pose_cw(t)
+            target_camera = pose.transform(np.array([0.0, -1.0, 6.0]))
+            assert target_camera[2] > 0
+            assert np.allclose(target_camera[:2], 0.0, atol=1e-9)

@@ -1,0 +1,106 @@
+"""Tests for ATE/RPE trajectory metrics and Umeyama alignment."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import SE3, so3_exp
+from repro.eval.trajectory_metrics import (
+    TrajectoryErrors,
+    evaluate_trajectory,
+    umeyama_alignment,
+)
+from repro.synthetic import make_dataset
+from repro.vo import OracleFrontend, VisualOdometry
+
+
+class TestUmeyama:
+    def test_recovers_similarity_transform(self):
+        rng = np.random.default_rng(0)
+        source = rng.normal(size=(30, 3))
+        true_scale = 2.5
+        true_rotation = so3_exp([0.2, -0.4, 0.7])
+        true_translation = np.array([1.0, -2.0, 3.0])
+        target = true_scale * source @ true_rotation.T + true_translation
+        scale, rotation, translation = umeyama_alignment(source, target)
+        assert scale == pytest.approx(true_scale, rel=1e-9)
+        assert np.allclose(rotation, true_rotation, atol=1e-9)
+        assert np.allclose(translation, true_translation, atol=1e-9)
+
+    def test_without_scale(self):
+        rng = np.random.default_rng(1)
+        source = rng.normal(size=(20, 3))
+        target = source @ so3_exp([0, 0, 0.3]).T + np.array([0.5, 0, 0])
+        scale, _, _ = umeyama_alignment(source, target, with_scale=False)
+        assert scale == 1.0
+
+    def test_reflection_guard(self):
+        # A reflected cloud must still produce a proper rotation.
+        rng = np.random.default_rng(2)
+        source = rng.normal(size=(15, 3))
+        target = source.copy()
+        target[:, 0] *= -1  # mirror
+        _, rotation, _ = umeyama_alignment(source, target)
+        assert np.linalg.det(rotation) == pytest.approx(1.0)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            umeyama_alignment(np.zeros((2, 3)), np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            umeyama_alignment(np.zeros((5, 3)), np.zeros((4, 3)))
+
+
+class TestEvaluateTrajectory:
+    def make_circle_poses(self, count=40, radius=3.0):
+        poses = []
+        for i in range(count):
+            angle = 2 * np.pi * i / count * 0.25
+            eye = np.array([radius * np.cos(angle), -1.5, radius * np.sin(angle)])
+            poses.append(SE3.look_at(eye, np.zeros(3)))
+        return poses
+
+    def test_perfect_estimate_zero_error(self):
+        poses = self.make_circle_poses()
+        errors = evaluate_trajectory(poses, poses)
+        assert errors.ate_rmse < 1e-9
+        assert errors.rpe_rotation_deg_median < 1e-6
+        assert errors.scale == pytest.approx(1.0)
+
+    def test_scaled_estimate_recovered(self):
+        # Monocular VO reports everything at 3x scale: ATE after alignment
+        # must still be ~zero and the scale recovered.
+        poses = self.make_circle_poses()
+        scaled = [SE3(p.rotation, p.translation * 3.0) for p in poses]
+        errors = evaluate_trajectory(scaled, poses)
+        assert errors.ate_rmse < 1e-6
+        assert errors.scale == pytest.approx(1 / 3.0, rel=1e-6)
+
+    def test_none_poses_skipped(self):
+        poses = self.make_circle_poses()
+        estimated = list(poses)
+        estimated[5] = None
+        estimated[6] = None
+        errors = evaluate_trajectory(estimated, poses)
+        assert errors.num_poses == len(poses) - 2
+
+    def test_length_mismatch(self):
+        poses = self.make_circle_poses()
+        with pytest.raises(ValueError):
+            evaluate_trajectory(poses[:-1], poses)
+
+    def test_vo_trajectory_quality(self):
+        # End-to-end: the VO's trajectory on a rendered sequence must have
+        # sub-centimeter-scale ATE relative to the path length.
+        video = make_dataset("xiph_like", num_frames=90)
+        frontend = OracleFrontend(video.world, video.camera, seed=1)
+        vo = VisualOdometry(video.camera)
+        estimated, truth = [], []
+        for frame, gt in video:
+            observation = frontend.observe(frame, gt)
+            result = vo.process_frame(frame.index, frame.timestamp, observation)
+            estimated.append(result.pose_cw if result.is_tracking else None)
+            truth.append(gt.pose_cw)
+        errors = evaluate_trajectory(estimated, truth)
+        assert errors.num_poses > 40
+        # Path length over the run is ~1.5 m; ATE should be centimeters.
+        assert errors.ate_rmse < 0.10
+        assert errors.rpe_rotation_deg_median < 0.5

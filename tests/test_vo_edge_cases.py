@@ -1,0 +1,163 @@
+"""Edge-case tests for the VO tracker: relocalization, degenerate input,
+empty segmentations, long-run map hygiene."""
+
+import numpy as np
+import pytest
+
+from repro.image import InstanceMask
+from repro.synthetic import make_dataset
+from repro.vo import Observation, OracleFrontend, VisualOdometry, VOConfig, VOState
+
+
+def drive(vo, video, frontend, frames, apply_masks_every=None):
+    results = []
+    for index in frames:
+        frame, truth = video.frame_at(index)
+        observation = frontend.observe(frame, truth)
+        result = vo.process_frame(frame.index, frame.timestamp, observation)
+        results.append(result)
+        if (
+            apply_masks_every
+            and result.is_tracking
+            and index % apply_masks_every == 0
+        ):
+            vo.promote_keyframe(index)
+            vo.apply_segmentation(index, truth.masks)
+    return results
+
+
+class TestRelocalization:
+    def test_recovers_after_feature_blackout(self):
+        video = make_dataset("xiph_like", num_frames=90)
+        frontend = OracleFrontend(video.world, video.camera, seed=1)
+        vo = VisualOdometry(video.camera)
+        empty = Observation(np.zeros((0, 2)), np.zeros((0, 32), np.uint8))
+        states = []
+        for frame, truth in video:
+            if 50 <= frame.index < 56:
+                observation = empty  # camera covered for 6 frames
+            else:
+                observation = frontend.observe(frame, truth)
+            result = vo.process_frame(frame.index, frame.timestamp, observation)
+            states.append(result.state)
+        # Lost during the blackout...
+        assert VOState.LOST in states[50:56]
+        # ... but tracking again within a second afterwards.
+        assert VOState.TRACKING in states[56:86]
+
+    def test_velocity_zeroed_when_lost(self):
+        video = make_dataset("xiph_like", num_frames=60)
+        frontend = OracleFrontend(video.world, video.camera, seed=1)
+        vo = VisualOdometry(video.camera)
+        empty = Observation(np.zeros((0, 2)), np.zeros((0, 32), np.uint8))
+        for frame, truth in video:
+            observation = frontend.observe(frame, truth)
+            result = vo.process_frame(frame.index, frame.timestamp, observation)
+            if result.is_tracking:
+                break
+        vo.process_frame(frame.index + 1, frame.timestamp + 0.033, empty)
+        assert vo.state is VOState.LOST
+        assert vo._velocity.allclose(type(vo._velocity).identity())
+
+
+class TestDegenerateInput:
+    def test_single_feature_never_crashes(self):
+        video = make_dataset("davis_like", num_frames=3)
+        vo = VisualOdometry(video.camera)
+        lone = Observation(
+            np.array([[100.0, 100.0]]),
+            np.zeros((1, 32), np.uint8),
+        )
+        for index in range(3):
+            result = vo.process_frame(index, index / 30, lone)
+            assert result.state is VOState.INITIALIZING
+
+    def test_identical_descriptors_no_init(self):
+        # All-identical descriptors defeat the ratio test; VO must simply
+        # keep waiting, not initialize from garbage matches.
+        video = make_dataset("davis_like", num_frames=3)
+        vo = VisualOdometry(video.camera)
+        rng = np.random.default_rng(0)
+        for index in range(3):
+            observation = Observation(
+                rng.uniform(0, 200, size=(50, 2)),
+                np.zeros((50, 32), np.uint8),
+            )
+            result = vo.process_frame(index, index / 30, observation)
+        assert vo.state is VOState.INITIALIZING
+
+
+class TestSegmentationEdgeCases:
+    def make_tracking_vo(self):
+        video = make_dataset("xiph_like", num_frames=60)
+        frontend = OracleFrontend(video.world, video.camera, seed=1)
+        vo = VisualOdometry(video.camera)
+        last = None
+        for frame, truth in video:
+            observation = frontend.observe(frame, truth)
+            result = vo.process_frame(frame.index, frame.timestamp, observation)
+            if result.is_tracking:
+                last = (frame, truth)
+        assert last is not None
+        return vo, last
+
+    def test_empty_mask_list_labels_background(self):
+        vo, (frame, truth) = self.make_tracking_vo()
+        assert vo.promote_keyframe(frame.index)
+        assert vo.apply_segmentation(frame.index, [])
+        # All matched points of that frame became background.
+        record = vo.map.keyframe(frame.index)
+        for point_id in record.point_ids:
+            if point_id >= 0 and point_id in vo.map:
+                assert not vo.map.get(int(point_id)).is_unlabeled
+
+    def test_reapplying_masks_is_stable(self):
+        vo, (frame, truth) = self.make_tracking_vo()
+        vo.promote_keyframe(frame.index)
+        assert vo.apply_segmentation(frame.index, truth.masks)
+        labels_first = {p.point_id: p.label for p in vo.map.points}
+        assert vo.apply_segmentation(frame.index, truth.masks)
+        labels_second = {p.point_id: p.label for p in vo.map.points}
+        assert labels_first == labels_second
+
+    def test_label_flip_background_to_object_and_back(self):
+        vo, (frame, truth) = self.make_tracking_vo()
+        vo.promote_keyframe(frame.index)
+        vo.apply_segmentation(frame.index, truth.masks)
+        object_points = [p for p in vo.map.points if p.is_object]
+        assert object_points
+        sample = object_points[0]
+        position_in_object_frame = sample.position.copy()
+        # Demote everything to background and check re-anchoring back to
+        # world coordinates happened.
+        vo.apply_segmentation(frame.index, [])
+        assert sample.is_background
+        track = vo.objects[[k for k in vo.objects][0]]
+        # Static scene: object frame == world frame, position unchanged.
+        assert np.allclose(sample.position, position_in_object_frame, atol=1e-6)
+
+
+class TestLongRunHygiene:
+    def test_map_capped_over_long_run(self):
+        video = make_dataset("xiph_like", num_frames=200)
+        frontend = OracleFrontend(video.world, video.camera, seed=1)
+        config = VOConfig(max_map_points=250, cull_after_frames=50)
+        vo = VisualOdometry(video.camera, config)
+        for frame, truth in video:
+            observation = frontend.observe(frame, truth)
+            vo.process_frame(frame.index, frame.timestamp, observation)
+        assert len(vo.map) <= 250
+
+    def test_memory_estimate_bounded(self):
+        video = make_dataset("xiph_like", num_frames=150)
+        frontend = OracleFrontend(video.world, video.camera, seed=1)
+        vo = VisualOdometry(video.camera)
+        peak = 0
+        for frame, truth in video:
+            observation = frontend.observe(frame, truth)
+            result = vo.process_frame(frame.index, frame.timestamp, observation)
+            if result.is_tracking and frame.index % 15 == 0:
+                vo.promote_keyframe(frame.index)
+                vo.apply_segmentation(frame.index, truth.masks)
+            peak = max(peak, vo.map.memory_bytes())
+        assert peak < 64 * 1024 * 1024  # far below the paper's 1 GB budget

@@ -1,0 +1,95 @@
+"""Tests for the VO feature frontends (oracle and FAST+BRIEF)."""
+
+import numpy as np
+import pytest
+
+from repro.features import match_descriptors
+from repro.synthetic import make_dataset
+from repro.vo import FastBriefFrontend, Observation, OracleFrontend
+
+
+@pytest.fixture(scope="module")
+def video():
+    return make_dataset("davis_like", num_frames=6, resolution=(160, 120))
+
+
+class TestObservation:
+    def test_len_and_subset(self):
+        observation = Observation(
+            pixels=np.arange(10).reshape(5, 2).astype(float),
+            descriptors=np.arange(5 * 32, dtype=np.uint8).reshape(5, 32),
+        )
+        assert len(observation) == 5
+        subset = observation.subset(np.array([0, 2]))
+        assert len(subset) == 2
+        assert np.allclose(subset.pixels[1], observation.pixels[2])
+        by_bool = observation.subset(np.array([True, False, True, False, False]))
+        assert np.array_equal(by_bool.descriptors, subset.descriptors)
+
+
+class TestOracleFrontend:
+    def test_observation_counts_and_bounds(self, video):
+        frontend = OracleFrontend(video.world, video.camera, max_features=200, seed=0)
+        frame, truth = video.frame_at(0)
+        observation = frontend.observe(frame, truth)
+        assert 30 < len(observation) <= 200
+        assert observation.pixels[:, 0].max() < video.camera.width + 2
+        assert observation.pixels[:, 1].max() < video.camera.height + 2
+        assert observation.descriptors.shape == (len(observation), 32)
+
+    def test_consecutive_frames_share_sites(self, video):
+        frontend = OracleFrontend(video.world, video.camera, seed=0)
+        frame0, truth0 = video.frame_at(0)
+        frame1, truth1 = video.frame_at(1)
+        obs0 = frontend.observe(frame0, truth0)
+        obs1 = frontend.observe(frame1, truth1)
+        matches = match_descriptors(obs0.descriptors, obs1.descriptors)
+        # High overlap is the point of the deterministic site selection.
+        assert len(matches) > 0.6 * min(len(obs0), len(obs1))
+
+    def test_descriptor_noise_bounded(self, video):
+        frontend = OracleFrontend(
+            video.world, video.camera, descriptor_flip_bits=6, seed=1
+        )
+        frame, truth = video.frame_at(0)
+        obs_a = frontend.observe(frame, truth)
+        obs_b = frontend.observe(frame, truth)
+        matches = match_descriptors(obs_a.descriptors, obs_b.descriptors)
+        distances = [m.distance for m in matches]
+        assert np.median(distances) <= 12  # <= 2 * flip bits
+
+    def test_occluded_sites_excluded(self, video):
+        # Sites on the back of objects (failing the depth test) must not
+        # be emitted: every returned pixel should match the depth buffer.
+        frontend = OracleFrontend(video.world, video.camera, seed=2, pixel_noise=0.0)
+        frame, truth = video.frame_at(0)
+        observation = frontend.observe(frame, truth)
+        sites = video.world.feature_sites
+        positions = video.world.site_world_positions(frame.timestamp)
+        pixels, depths = video.camera.project_world(truth.pose_cw, positions)
+        # Check a sample of emitted pixels against the depth buffer.
+        for u, v in observation.pixels[:50]:
+            row, col = int(round(v)), int(round(u))
+            if 0 <= row < frame.height and 0 <= col < frame.width:
+                assert np.isfinite(truth.depth[row, col])
+
+    def test_dropout_reduces_count(self, video):
+        frame, truth = video.frame_at(0)
+        dense = OracleFrontend(video.world, video.camera, dropout=0.0, seed=3)
+        sparse = OracleFrontend(video.world, video.camera, dropout=0.6, seed=3)
+        assert len(sparse.observe(frame, truth)) < len(dense.observe(frame, truth))
+
+
+class TestFastBriefFrontend:
+    def test_runs_on_rendered_frame(self, video):
+        frontend = FastBriefFrontend(max_features=200)
+        frame, truth = video.frame_at(0)
+        observation = frontend.observe(frame, truth)
+        assert len(observation) > 20
+        assert observation.descriptors.dtype == np.uint8
+
+    def test_truth_optional(self, video):
+        frontend = FastBriefFrontend()
+        frame, _ = video.frame_at(0)
+        observation = frontend.observe(frame)  # no ground truth needed
+        assert len(observation) > 0

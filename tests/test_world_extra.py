@@ -1,0 +1,90 @@
+"""Extra world tests: ground-truth assembly, site generation policy."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import SE3
+from repro.synthetic import (
+    ProceduralTexture,
+    SceneObject,
+    StaticMotion,
+    World,
+    make_box_mesh,
+    make_dataset,
+    make_plane_mesh,
+)
+
+
+def simple_object(instance_id, z=5.0, size=(1.0, 1.0, 1.0), label="box"):
+    return SceneObject(
+        instance_id,
+        label,
+        make_box_mesh(size),
+        ProceduralTexture((140, 120, 100), instance_id),
+        StaticMotion(SE3(np.eye(3), [0.0, 0.0, z])),
+    )
+
+
+class TestSiteGeneration:
+    def test_site_cap_respected(self):
+        floor = SceneObject(
+            0,
+            "background",
+            make_plane_mesh(50.0, 50.0),
+            ProceduralTexture((120, 120, 120), 0),
+        )
+        world = World([floor], max_sites_per_object=100)
+        assert len(world.feature_sites) == 100
+
+    def test_small_objects_get_minimum_sites(self):
+        tiny = simple_object(1, size=(0.05, 0.05, 0.05))
+        world = World([tiny])
+        assert len(world.feature_sites) >= 8
+
+    def test_site_ids_unique(self):
+        world = World([simple_object(1), simple_object(2, z=8.0)])
+        ids = [s.site_id for s in world.feature_sites]
+        assert len(ids) == len(set(ids))
+
+    def test_owner_index_valid(self):
+        world = World([simple_object(1), simple_object(2, z=8.0)])
+        for site in world.feature_sites:
+            owner = world.objects[site.owner_index]
+            assert owner.instance_id == site.instance_id
+
+
+class TestWorldQueries:
+    def test_instance_and_dynamic_ids(self):
+        from repro.synthetic import LinearMotion
+
+        static = simple_object(1)
+        mover = SceneObject(
+            2,
+            "cart",
+            make_box_mesh((1, 1, 1)),
+            ProceduralTexture((90, 90, 90), 2),
+            LinearMotion(SE3(np.eye(3), [2, 0, 6]), velocity=[0.5, 0, 0]),
+        )
+        world = World([static, mover])
+        assert world.instance_ids == [1, 2]
+        assert world.dynamic_instance_ids == [2]
+        assert world.class_of(2) == "cart"
+
+    def test_ground_truth_class_labels(self):
+        video = make_dataset("oilfield", num_frames=1, resolution=(160, 120))
+        _, truth = video.frame_at(0)
+        labels = {m.class_label for m in truth.masks}
+        assert "oil_separator" in labels
+
+    def test_ground_truth_depth_within_masks(self):
+        video = make_dataset("davis_like", num_frames=1, resolution=(160, 120))
+        _, truth = video.frame_at(0)
+        for mask in truth.masks:
+            depths = truth.depth[mask.mask]
+            assert np.isfinite(depths).all()
+            assert (depths > 0).all()
+
+    def test_mask_for_missing_instance(self):
+        video = make_dataset("davis_like", num_frames=1, resolution=(160, 120))
+        _, truth = video.frame_at(0)
+        assert truth.mask_for(999) is None
