@@ -57,6 +57,11 @@ class SystemConfig:
     no_cfrs_outstanding: int = 3
     max_outstanding_offloads: int = 1
     seed: int = 0
+    # Observability: when True (and no tracer is injected explicitly) the
+    # client creates its own repro.obs Tracer, reachable as
+    # ``EdgeISSystem.tracer``.  Off by default — the disabled path uses
+    # the shared no-op tracer and records nothing.
+    trace_enabled: bool = False
 
     @property
     def ablation_name(self) -> str:

@@ -24,6 +24,7 @@ from ..encoding.tiles import TileQuality
 from ..image.frame import VideoFrame
 from ..image.masks import InstanceMask
 from ..model.acceleration import instructions_from_masks
+from ..obs.trace import NULL_TRACER, Tracer
 from ..runtime.interface import ClientFrameOutput, OffloadRequest
 from ..synthetic.world import GroundTruth, World
 from ..transfer.mask_transfer import MaskTransferEngine
@@ -44,6 +45,7 @@ class EdgeISSystem:
         config: SystemConfig | None = None,
         world: World | None = None,
         frontend: str = "oracle",
+        tracer: Tracer | None = None,
     ):
         """Create the client.
 
@@ -59,14 +61,26 @@ class EdgeISSystem:
         frontend:
             ``"oracle"`` (default, used by the experiment grids) or
             ``"fast_brief"`` (the real FAST+BRIEF pipeline).
+        tracer:
+            Observability tracer shared with the pipeline.  Defaults to
+            the no-op tracer unless ``config.trace_enabled`` asks the
+            client to create its own.
         """
         self.config = config or SystemConfig()
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.config.trace_enabled:
+            self.tracer = Tracer()
+        else:
+            self.tracer = NULL_TRACER
         self.name = self.config.ablation_name
         self.camera = camera
         rng = np.random.default_rng(self.config.seed)
-        self.vo = VisualOdometry(camera, self.config.vo, rng=rng)
+        self.vo = VisualOdometry(camera, self.config.vo, rng=rng, tracer=self.tracer)
         self.transfer = MaskTransferEngine(camera, self.config.transfer)
-        self.selector = ContentRoiSelector(frame_shape, self.config.cfrs)
+        self.selector = ContentRoiSelector(
+            frame_shape, self.config.cfrs, tracer=self.tracer
+        )
         if frontend == "oracle":
             if world is None:
                 raise ValueError("oracle frontend requires the synthetic world")
@@ -90,23 +104,60 @@ class EdgeISSystem:
         self, frame: VideoFrame, truth: GroundTruth, now_ms: float
     ) -> ClientFrameOutput:
         timing = self.config.timing
-        compute = timing.feature_extraction_ms
+        tracer = self.tracer
+        tracer.set_now(now_ms)
+        # ``cursor`` walks the simulated clock through the frame's stages
+        # so their spans tile [now_ms, now_ms + compute_ms) back to back.
+        cursor = now_ms
 
-        observation = self.frontend.observe(frame, truth)
-        result = self.vo.process_frame(frame.index, frame.timestamp, observation)
+        with tracer.span(
+            "mamt.features",
+            frame=frame.index,
+            start_ms=cursor,
+            dur_ms=timing.feature_extraction_ms,
+        ):
+            observation = self.frontend.observe(frame, truth)
+        compute = timing.feature_extraction_ms
+        cursor += timing.feature_extraction_ms
+
+        with tracer.span(
+            "mamt.vo_track",
+            frame=frame.index,
+            start_ms=cursor,
+            dur_ms=timing.vo_tracking_ms,
+        ) as vo_span:
+            result = self.vo.process_frame(frame.index, frame.timestamp, observation)
+            vo_span.annotate(
+                state=result.state.value, num_matches=result.num_matches
+            )
         compute += timing.vo_tracking_ms
+        cursor += timing.vo_tracking_ms
 
         # Display masks.
         if self.config.use_mamt:
-            predictions = self.transfer.predict(self.vo) if result.is_tracking else []
-            masks = [p.mask for p in predictions]
-            compute += timing.mask_predict_per_object_ms * len(masks)
+            with tracer.span(
+                "mamt.predict", frame=frame.index, start_ms=cursor
+            ) as span:
+                predictions = (
+                    self.transfer.predict(self.vo) if result.is_tracking else []
+                )
+                masks = [p.mask for p in predictions]
+                stage_ms = timing.mask_predict_per_object_ms * len(masks)
+                span.dur_ms = stage_ms
+                span.annotate(num_masks=len(masks))
         else:
-            masks = self._mv_tracker.update(frame.gray)
-            compute += (
-                timing.mv_tracker_base_ms
-                + timing.mv_tracker_per_object_ms * len(masks)
-            )
+            with tracer.span(
+                "tracker.mv_update", frame=frame.index, start_ms=cursor
+            ) as span:
+                masks = self._mv_tracker.update(frame.gray)
+                stage_ms = (
+                    timing.mv_tracker_base_ms
+                    + timing.mv_tracker_per_object_ms * len(masks)
+                )
+                span.dur_ms = stage_ms
+                span.annotate(num_masks=len(masks))
+        compute += stage_ms
+        cursor += stage_ms
         self._last_masks = masks
         self._last_gray = frame.gray
 
@@ -120,19 +171,48 @@ class EdgeISSystem:
         if self._outstanding < outstanding_budget:
             offload, encode_ms = self._maybe_offload(frame, result, masks)
             if offload is not None:
-                compute += timing.cfrs_decide_ms + encode_ms
+                stage_ms = timing.cfrs_decide_ms + encode_ms
+                tracer.add_span(
+                    "cfrs.offload",
+                    lane="client",
+                    frame=frame.index,
+                    start_ms=cursor,
+                    dur_ms=stage_ms,
+                    reason=offload.reason,
+                    payload_bytes=int(offload.payload_bytes),
+                )
+                compute += stage_ms
+                cursor += stage_ms
                 self._outstanding += 1
                 self._offloads_sent += 1
                 # Register the keyframe *now*, while its observation is in
                 # the recent buffer — the result may come back much later.
                 if result.is_tracking:
                     self.vo.promote_keyframe(frame.index)
+        elif tracer.enabled:
+            tracer.event(
+                "offload.decision",
+                lane="client",
+                frame=frame.index,
+                should_send=False,
+                reason="outstanding-limit",
+                outstanding=self._outstanding,
+            )
         return ClientFrameOutput(masks=masks, compute_ms=compute, offload=offload)
 
     def receive_result(
         self, frame_index: int, masks: list[InstanceMask], now_ms: float
     ) -> float:
         self._outstanding = max(0, self._outstanding - 1)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "mamt.apply_result",
+                lane="client",
+                ts_ms=now_ms,
+                frame=frame_index,
+                num_masks=len(masks),
+                outstanding=self._outstanding,
+            )
         self.vo.apply_segmentation(frame_index, masks)
         if not self.config.use_mamt and self._last_gray is not None:
             self._mv_tracker.reset(masks, self._last_gray)
@@ -148,6 +228,7 @@ class EdgeISSystem:
 
     def _maybe_offload(self, frame, result, masks):
         timing = self.config.timing
+        tracer = self.tracer
         unmatched = self._unmatched_pixels(frame, result)
         if self.config.use_cfrs:
             motion = {
@@ -162,6 +243,17 @@ class EdgeISSystem:
                 unmatched,
                 result.is_tracking,
             )
+            if tracer.enabled:
+                tracer.event(
+                    "offload.decision",
+                    lane="client",
+                    frame=frame.index,
+                    should_send=decision.should_send,
+                    reason=decision.reason,
+                    unlabeled_fraction=round(result.unlabeled_match_fraction, 6),
+                    num_new_area_boxes=len(decision.new_area_boxes),
+                    tracking=result.is_tracking,
+                )
             if not decision.should_send:
                 return None, 0.0
             new_boxes = decision.new_area_boxes
@@ -170,6 +262,14 @@ class EdgeISSystem:
             reason = decision.reason
         else:
             if frame.index - self._last_offload_frame < self.config.fixed_offload_interval:
+                if tracer.enabled:
+                    tracer.event(
+                        "offload.decision",
+                        lane="client",
+                        frame=frame.index,
+                        should_send=False,
+                        reason="interval-wait",
+                    )
                 return None, 0.0
             self._last_offload_frame = frame.index
             encoded = self.selector.encode_uniform(
@@ -180,6 +280,14 @@ class EdgeISSystem:
             new_boxes = self.selector.new_area_boxes(unmatched)
             encode_ms = timing.encode_full_ms
             reason = "best-effort"
+            if tracer.enabled:
+                tracer.event(
+                    "offload.decision",
+                    lane="client",
+                    frame=frame.index,
+                    should_send=True,
+                    reason=reason,
+                )
 
         if self.config.use_ciia and masks:
             instructions = instructions_from_masks(masks, new_boxes)

@@ -20,6 +20,7 @@ from scipy import ndimage
 
 from ..image.contours import mask_boundary
 from ..image.masks import InstanceMask
+from ..obs.trace import NULL_TRACER, Tracer
 from .tiles import EncodedFrame, TileGrid, TileQuality, encode_frame
 
 __all__ = ["CFRSConfig", "OffloadDecision", "ContentRoiSelector"]
@@ -45,11 +46,21 @@ class OffloadDecision:
 class ContentRoiSelector:
     """The CFRS policy object owned by the mobile client."""
 
-    def __init__(self, frame_shape: tuple[int, int], config: CFRSConfig | None = None):
+    def __init__(
+        self,
+        frame_shape: tuple[int, int],
+        config: CFRSConfig | None = None,
+        tracer: Tracer | None = None,
+    ):
         self.config = config or CFRSConfig()
         self.grid = TileGrid(frame_shape[0], frame_shape[1], self.config.tile_size)
         self._last_offload_frame = -(10**9)
         self._motion_baseline: dict[int, float] = {}
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._h_offload_bytes = self._tracer.metrics.histogram(
+            "cfrs.offload_bytes",
+            buckets=(1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5),
+        )
 
     # ------------------------------------------------------------------
     # Offload timing
@@ -69,6 +80,23 @@ class ContentRoiSelector:
         ``unmatched_pixels`` are the (u, v) positions of features that
         matched nothing or unlabeled points (the yellow points of Fig. 8b).
         """
+        decision = self._decide(
+            frame_index, unlabeled_fraction, object_motion, unmatched_pixels, is_tracking
+        )
+        metrics = self._tracer.metrics
+        metrics.counter(f"cfrs.decision.{decision.reason}").inc()
+        if decision.should_send:
+            metrics.counter("cfrs.offloads").inc()
+        return decision
+
+    def _decide(
+        self,
+        frame_index: int,
+        unlabeled_fraction: float,
+        object_motion: dict[int, float],
+        unmatched_pixels: np.ndarray,
+        is_tracking: bool,
+    ) -> OffloadDecision:
         since_last = frame_index - self._last_offload_frame
         if since_last < self.config.min_interval_frames:
             return OffloadDecision(False, "rate-limited")
@@ -167,8 +195,27 @@ class ContentRoiSelector:
         masks: list[InstanceMask],
         new_area_boxes: list[np.ndarray],
     ) -> EncodedFrame:
-        return encode_frame(
+        encoded = encode_frame(
             gray, self.quality_map(masks, new_area_boxes), self.grid, frame_index
+        )
+        self._record_budget(encoded)
+        return encoded
+
+    def _record_budget(self, encoded: EncodedFrame) -> None:
+        """Trace the per-region byte budget of one encoded offload."""
+        self._h_offload_bytes.observe(encoded.total_bytes)
+        tracer = self._tracer
+        if not tracer.enabled:
+            return
+        attrs = {"total_bytes": int(encoded.total_bytes)}
+        for quality in (TileQuality.HIGH, TileQuality.MEDIUM, TileQuality.LOW):
+            region = encoded.quality_map == int(quality)
+            attrs[f"bytes_{quality.name.lower()}"] = int(
+                encoded.tile_bytes[region].sum()
+            )
+            attrs[f"tiles_{quality.name.lower()}"] = int(region.sum())
+        tracer.event(
+            "cfrs.encode", lane="client", frame=encoded.frame_index, **attrs
         )
 
     def encode_uniform(
@@ -176,4 +223,6 @@ class ContentRoiSelector:
     ) -> EncodedFrame:
         """Whole-frame encoding at one quality (baseline systems)."""
         qualities = np.full((self.grid.rows, self.grid.cols), int(quality), dtype=int)
-        return encode_frame(gray, qualities, self.grid, frame_index)
+        encoded = encode_frame(gray, qualities, self.grid, frame_index)
+        self._record_budget(encoded)
+        return encoded

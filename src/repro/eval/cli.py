@@ -5,6 +5,7 @@ Examples::
     python -m repro.eval.cli run --system edgeis --dataset kitti_like \
         --network wifi_2.4ghz --frames 200 --json results/kitti.json
     python -m repro.eval.cli compare --dataset xiph_like
+    python -m repro.eval.cli trace fig9 --frames 150 --out results/traces/fig9
     python -m repro.eval.cli list
 """
 
@@ -12,13 +13,29 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from ..network.channel import CHANNELS
+from ..obs import (
+    mean_frame_latency_ms,
+    stage_table,
+    write_chrome_trace,
+    write_jsonl,
+)
 from ..synthetic.datasets import COMPLEXITY_LEVELS, DATASET_NAMES
 from .experiments import ABLATION_NAMES, SYSTEM_NAMES, ExperimentSpec, run_experiment
 from .reporting import Table, format_cdf, save_json
 
-__all__ = ["main"]
+__all__ = ["main", "TRACE_BENCHES"]
+
+# Named trace scenarios: one per evaluation setting worth a timeline.
+# Each maps to the (dataset, network, motion) cell it reproduces.
+TRACE_BENCHES = {
+    "fig9": {"dataset": "xiph_like", "network": "wifi_5ghz", "motion": "walk"},
+    "fig10-wifi24": {"dataset": "xiph_like", "network": "wifi_2.4ghz", "motion": "walk"},
+    "fig10-lte": {"dataset": "xiph_like", "network": "lte", "motion": "walk"},
+    "fig12-jog": {"dataset": "kitti_like", "network": "wifi_5ghz", "motion": "jog"},
+}
 
 
 def _spec_from_args(args, system: str | None = None) -> ExperimentSpec:
@@ -97,12 +114,63 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Run one scenario with tracing on and write every export."""
+    preset = TRACE_BENCHES[args.bench]
+    spec = ExperimentSpec(
+        system=args.system,
+        dataset=preset["dataset"],
+        network=preset["network"],
+        motion_grade=preset["motion"],
+        num_frames=args.frames,
+        seed=args.seed,
+        server_device=args.server,
+        trace=True,
+        trace_wall_clock=args.wall_clock,
+    )
+    outcome = run_experiment(spec)
+    tracer = outcome.tracer
+    result = outcome.result
+
+    out_dir = Path(args.out or f"results/traces/{args.bench}")
+    jsonl_path = write_jsonl(tracer, out_dir / "trace.jsonl")
+    chrome_path = write_chrome_trace(
+        tracer, out_dir / "trace_chrome.json", process_name=f"{spec.system}:{args.bench}"
+    )
+    table = stage_table(
+        tracer,
+        title=f"per-stage latency — {spec.system} on {spec.dataset} over {spec.network}",
+    )
+    table_path = out_dir / "stage_latency.txt"
+    table_path.write_text(table.render() + "\n")
+    table.print()
+
+    # Reconcile: the trace's per-frame client spans must reproduce the
+    # run's mean display latency (same simulation, finer grain).
+    traced_ms = mean_frame_latency_ms(tracer, warmup_frames=spec.warmup_frames)
+    reported_ms = result.mean_latency_ms()
+    delta = abs(traced_ms - reported_ms) / max(reported_ms, 1e-9)
+    print(f"spans:  {len(tracer.spans)}   events: {len(tracer.events)}")
+    print(f"wrote  {jsonl_path}")
+    print(f"wrote  {chrome_path}  (open in chrome://tracing or ui.perfetto.dev)")
+    print(f"wrote  {table_path}")
+    print(
+        f"reconciliation: trace {traced_ms:.3f} ms vs run {reported_ms:.3f} ms "
+        f"({delta * 100:.3f}% apart)"
+    )
+    if delta > 0.01:
+        print("ERROR: trace does not reconcile with the run result (> 1%)")
+        return 1
+    return 0
+
+
 def _cmd_list(args) -> int:
     print("systems:   ", ", ".join(SYSTEM_NAMES))
     print("ablations: ", ", ".join(ABLATION_NAMES))
     print("datasets:  ", ", ".join(DATASET_NAMES))
     print("complexity:", ", ".join(COMPLEXITY_LEVELS))
     print("networks:  ", ", ".join(sorted(CHANNELS)))
+    print("traces:    ", ", ".join(TRACE_BENCHES))
     return 0
 
 
@@ -134,6 +202,34 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser = subparsers.add_parser("compare", help="run all systems")
     add_common(compare_parser)
     compare_parser.set_defaults(func=_cmd_compare)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="run one scenario with frame-level tracing and export it"
+    )
+    trace_parser.add_argument(
+        "bench",
+        nargs="?",
+        default="fig9",
+        choices=sorted(TRACE_BENCHES),
+        help="named scenario (dataset+network+motion preset)",
+    )
+    trace_parser.add_argument(
+        "--system", default="edgeis", choices=SYSTEM_NAMES + ABLATION_NAMES
+    )
+    trace_parser.add_argument("--frames", type=int, default=150)
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument(
+        "--server", default="jetson_tx2", choices=("jetson_tx2", "jetson_xavier", "titan_v")
+    )
+    trace_parser.add_argument(
+        "--out", default=None, help="output directory (default results/traces/<bench>)"
+    )
+    trace_parser.add_argument(
+        "--wall-clock",
+        action="store_true",
+        help="additionally record wall-clock span times (breaks trace diffability)",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
 
     list_parser = subparsers.add_parser("list", help="list available names")
     list_parser.set_defaults(func=_cmd_list)

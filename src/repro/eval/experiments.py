@@ -21,6 +21,7 @@ from ..core.config import SystemConfig
 from ..core.system import EdgeISSystem
 from ..model.maskrcnn import SimulatedSegmentationModel
 from ..network.channel import make_channel
+from ..obs.trace import NULL_TRACER, Tracer
 from ..runtime.pipeline import EdgeServer, Pipeline, RunResult
 from ..runtime.resources import DEVICE_POWER, ResourceMonitor
 from ..synthetic.datasets import make_complexity_scene, make_dataset
@@ -53,7 +54,12 @@ ABLATION_NAMES = (
 )
 
 
-def build_client(name: str, video: SyntheticVideo, seed: int = 0):
+def build_client(
+    name: str,
+    video: SyntheticVideo,
+    seed: int = 0,
+    tracer: Tracer | None = None,
+):
     """Instantiate a client system by name for the given video."""
     shape = (video.camera.height, video.camera.width)
     if name == "edgeis" or name.startswith("baseline"):
@@ -62,7 +68,9 @@ def build_client(name: str, video: SyntheticVideo, seed: int = 0):
             config.use_mamt = "mamt" in name
             config.use_ciia = "ciia" in name
             config.use_cfrs = "cfrs" in name
-        return EdgeISSystem(video.camera, shape, config=config, world=video.world)
+        return EdgeISSystem(
+            video.camera, shape, config=config, world=video.world, tracer=tracer
+        )
     if name == "eaar":
         return EAARClient(shape, np.random.default_rng(seed + 100))
     if name == "edgeduet":
@@ -91,6 +99,10 @@ class ExperimentSpec:
     seed: int = 0
     monitor_resources: bool = False
     power_device: str = "iphone_11"
+    # Observability: record a frame-level trace of the run (off by
+    # default; the no-op tracer keeps the disabled path overhead-free).
+    trace: bool = False
+    trace_wall_clock: bool = False
 
 
 @dataclass
@@ -99,6 +111,7 @@ class ExperimentOutcome:
     result: RunResult
     resources: ResourceMonitor | None = None
     client: object | None = None
+    tracer: Tracer | None = None
 
 
 def _make_video(spec: ExperimentSpec) -> SyntheticVideo:
@@ -121,15 +134,27 @@ def _make_video(spec: ExperimentSpec) -> SyntheticVideo:
 
 def run_experiment(spec: ExperimentSpec) -> ExperimentOutcome:
     """Run one pipeline configuration end to end."""
+    tracer = Tracer(wall_clock=spec.trace_wall_clock) if spec.trace else NULL_TRACER
     video = _make_video(spec)
-    client = build_client(spec.system, video, seed=spec.seed)
+    client = build_client(spec.system, video, seed=spec.seed, tracer=tracer)
     channel = make_channel(spec.network, np.random.default_rng(spec.seed + 17))
     server = EdgeServer(
         SimulatedSegmentationModel(
-            "mask_rcnn_r101", spec.server_device, np.random.default_rng(spec.seed + 29)
-        )
+            "mask_rcnn_r101",
+            spec.server_device,
+            np.random.default_rng(spec.seed + 29),
+            metrics=tracer.metrics,
+        ),
+        tracer=tracer,
     )
-    pipeline = Pipeline(video, client, channel, server, warmup_frames=spec.warmup_frames)
+    pipeline = Pipeline(
+        video,
+        client,
+        channel,
+        server,
+        warmup_frames=spec.warmup_frames,
+        tracer=tracer,
+    )
 
     monitor = None
     if spec.monitor_resources:
@@ -137,7 +162,13 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentOutcome:
         result = _run_with_monitor(pipeline, monitor, client, channel)
     else:
         result = pipeline.run()
-    return ExperimentOutcome(spec=spec, result=result, resources=monitor, client=client)
+    return ExperimentOutcome(
+        spec=spec,
+        result=result,
+        resources=monitor,
+        client=client,
+        tracer=tracer if spec.trace else None,
+    )
 
 
 def _run_with_monitor(pipeline: Pipeline, monitor: ResourceMonitor, client, channel):

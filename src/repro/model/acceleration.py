@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..image.masks import InstanceMask
+from ..obs.metrics import MetricsRegistry
 from .anchors import AnchorGrid
 from .nms import box_iou_matrix, fast_nms
 from .rpn import Proposal
@@ -104,6 +105,7 @@ def prune_rois(
     class_confidences: np.ndarray,
     assign_iou: float = 0.15,
     nms_threshold: float = 0.35,
+    metrics: MetricsRegistry | None = None,
 ) -> PruningResult:
     """The paper's RoI pruning (Section IV-B).
 
@@ -167,6 +169,11 @@ def prune_rois(
 
     kept_indices.sort()
     kept = [proposals[i] for i in kept_indices]
+    if metrics is not None:
+        metrics.counter("ciia.rois_input").inc(len(proposals))
+        metrics.counter("ciia.rois_kept").inc(len(kept))
+        metrics.counter("ciia.rois_pruned_dominated").inc(pruned_dominated)
+        metrics.counter("ciia.rois_pruned_nms").inc(pruned_nms)
     return PruningResult(
         kept=kept,
         num_input=len(proposals),

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..image.masks import InstanceMask
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from .acceleration import (
     InferenceInstruction,
     PruningResult,
@@ -103,12 +104,25 @@ class SimulatedSegmentationModel:
         profile: str | ModelProfile = "mask_rcnn_r101",
         device: str | DeviceProfile = "jetson_tx2",
         rng: np.random.Generator | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.profile = PROFILES[profile] if isinstance(profile, str) else profile
         self.device = DEVICES[device] if isinstance(device, str) else device
         self.cost: ModelCost = MODEL_COSTS[self.profile.cost_key]
         self._rng = rng or np.random.default_rng(0)
         self._anchor_cache: dict[tuple[int, int], AnchorGrid] = {}
+        self.attach_metrics(metrics if metrics is not None else NULL_METRICS)
+
+    def attach_metrics(self, metrics: MetricsRegistry) -> None:
+        """(Re)bind the model's work counters to a metrics registry."""
+        self.metrics = metrics
+        self._m_inferences = metrics.counter("model.inferences")
+        self._m_anchors = metrics.counter("model.anchors_evaluated")
+        self._m_proposals = metrics.counter("model.proposals")
+        self._m_rois = metrics.counter("model.rois_processed")
+        self._h_location_fraction = metrics.histogram(
+            "model.location_fraction", buckets=tuple(x / 10 for x in range(1, 11))
+        )
 
     # ------------------------------------------------------------------
     def infer(
@@ -186,11 +200,18 @@ class SimulatedSegmentationModel:
         pruning: PruningResult | None = None
         if instructions and use_roi_pruning and proposals:
             confidences = self._class_confidences(proposals, instructions, gt_instances)
-            pruning = prune_rois(proposals, instructions, confidences)
+            pruning = prune_rois(
+                proposals, instructions, confidences, metrics=self.metrics
+            )
             rois = pruning.kept
         else:
             rois = proposals
         num_rois = len(rois)
+        self._m_inferences.inc()
+        self._m_anchors.inc(rpn_output.anchors_evaluated)
+        self._m_proposals.inc(len(proposals))
+        self._m_rois.inc(num_rois)
+        self._h_location_fraction.observe(rpn_output.location_fraction)
 
         detections = self._emit_detections(
             truth_masks, rois, image_shape, instructions
@@ -292,6 +313,7 @@ class SimulatedSegmentationModel:
     # ------------------------------------------------------------------
     def _infer_single_stage(self, truth_masks, image_shape) -> InferenceResult:
         """YOLACT / YOLOv3: fixed-cost single pass, no CIIA hooks."""
+        self._m_inferences.inc()
         detections = []
         for instance in truth_masks:
             if instance.box is None or not self._detected(instance):

@@ -1,0 +1,48 @@
+"""Zero-dependency observability: metrics registry, span tracer and
+trace exporters for the mobile/edge pipeline.
+
+Everything here is process-local and deterministic in simulated-time
+mode; see ``docs/observability.md`` for the API tour and export formats.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import NULL_TRACER, NullTracer, Span, TraceEvent, Tracer
+from .export import (
+    FRAME_LATENCY_SPANS,
+    chrome_trace,
+    mean_frame_latency_ms,
+    stage_summary,
+    stage_table,
+    to_jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "FRAME_LATENCY_SPANS",
+    "chrome_trace",
+    "mean_frame_latency_ms",
+    "stage_summary",
+    "stage_table",
+    "to_jsonl_lines",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,232 @@
+"""Trace exporters: JSONL, Chrome ``trace_event`` JSON, latency tables.
+
+Three consumers of one :class:`~repro.obs.trace.Tracer`:
+
+* :func:`write_jsonl` — the raw structured stream (one span/event per
+  line, deterministic order) for diffing and ad-hoc analysis;
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` format; load the file in ``chrome://tracing`` or
+  https://ui.perfetto.dev to see the client/channel/server lanes of a
+  pipeline run as a timeline;
+* :func:`stage_table` / :func:`stage_summary` — per-stage latency
+  aggregates (count, total, mean, p50/p95, max) as a plain-text table.
+
+:func:`mean_frame_latency_ms` recomputes the run's mean display latency
+purely from top-level client-lane spans, so a trace can be reconciled
+against :meth:`RunResult.mean_latency_ms` (they must agree — the trace
+is the same simulation, just finer-grained).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import Histogram
+from .trace import Tracer
+
+__all__ = [
+    "to_jsonl_lines",
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "stage_summary",
+    "stage_table",
+    "mean_frame_latency_ms",
+    "FRAME_LATENCY_SPANS",
+]
+
+# Top-level client-lane spans that carry one frame's display latency:
+# exactly one of these exists per captured frame.
+FRAME_LATENCY_SPANS = ("client.process", "client.stale_wait")
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def to_jsonl_lines(tracer: Tracer) -> list[str]:
+    """One compact JSON object per span/event, in deterministic order."""
+    return [
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in tracer.records()
+    ]
+
+
+def write_jsonl(tracer: Tracer, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(to_jsonl_lines(tracer)) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def _lane_order_key(lane: str) -> tuple[int, str]:
+    # Client lanes on top, then channel, then server — matches how a
+    # request flows downward through the system.
+    for rank, prefix in enumerate(("client", "channel", "server")):
+        if lane.startswith(prefix):
+            return rank, lane
+    return 3, lane
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "edgeis") -> dict:
+    """Render the trace in Chrome ``trace_event`` format (JSON object
+    with a ``traceEvents`` array; timestamps in microseconds)."""
+    lanes = sorted(tracer.lanes(), key=_lane_order_key)
+    tids = {lane: index + 1 for index, lane in enumerate(lanes)}
+    trace_events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    for lane in lanes:
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": tids[lane],
+                "name": "thread_name",
+                "args": {"name": lane},
+            }
+        )
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": tids[lane],
+                "name": "thread_sort_index",
+                "args": {"sort_index": tids[lane]},
+            }
+        )
+    for span in tracer.spans:
+        args = dict(span.attrs)
+        if span.frame is not None:
+            args["frame"] = span.frame
+        if span.wall_ms is not None:
+            args["wall_ms"] = round(span.wall_ms, 3)
+        trace_events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": tids[span.lane],
+                "name": span.name,
+                "cat": span.lane,
+                "ts": round(span.start_ms * 1000.0, 3),
+                "dur": round(span.dur_ms * 1000.0, 3),
+                "args": args,
+            }
+        )
+    for event in tracer.events:
+        args = dict(event.attrs)
+        if event.frame is not None:
+            args["frame"] = event.frame
+        trace_events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": 1,
+                "tid": tids[event.lane],
+                "name": event.name,
+                "cat": event.lane,
+                "ts": round(event.ts_ms * 1000.0, 3),
+                "args": args,
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str | Path, process_name: str = "edgeis"
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(chrome_trace(tracer, process_name), sort_keys=True)
+    )
+    return path
+
+
+# ----------------------------------------------------------------------
+# Per-stage latency aggregation
+# ----------------------------------------------------------------------
+def stage_summary(tracer: Tracer) -> dict[tuple[str, str], dict]:
+    """(lane, stage) -> {count, total_ms, mean_ms, p50_ms, p95_ms, max_ms}.
+
+    Aggregates every span by name; nested stages appear alongside their
+    parents (use the parent/child ids in the JSONL to reconstruct
+    containment).
+    """
+    histograms: dict[tuple[str, str], Histogram] = {}
+    for span in tracer.spans:
+        key = (span.lane, span.name)
+        hist = histograms.get(key)
+        if hist is None:
+            hist = histograms[key] = Histogram(span.name)
+        hist.observe(span.dur_ms)
+    return {
+        key: {
+            "count": hist.count,
+            "total_ms": hist.total,
+            "mean_ms": hist.mean,
+            "p50_ms": hist.quantile(0.5),
+            "p95_ms": hist.quantile(0.95),
+            "max_ms": hist.max_value,
+        }
+        for key, hist in sorted(histograms.items(), key=lambda kv: _stage_sort(kv[0]))
+    }
+
+
+def _stage_sort(key: tuple[str, str]) -> tuple:
+    lane, name = key
+    return (*_lane_order_key(lane), name)
+
+
+def stage_table(tracer: Tracer, title: str = "per-stage latency"):
+    # Imported here: ``repro.eval`` imports the runtime, which imports
+    # this package — a module-level import would be circular.
+    from ..eval.reporting import Table
+
+    table = Table(
+        title,
+        ["lane", "stage", "count", "total ms", "mean ms", "p50 ms", "p95 ms", "max ms"],
+    )
+    for (lane, name), stats in stage_summary(tracer).items():
+        table.add_row(
+            lane,
+            name,
+            stats["count"],
+            stats["total_ms"],
+            stats["mean_ms"],
+            stats["p50_ms"],
+            stats["p95_ms"],
+            stats["max_ms"],
+        )
+    return table
+
+
+def mean_frame_latency_ms(tracer: Tracer, warmup_frames: int = 0) -> float:
+    """Mean display latency recomputed from the trace alone.
+
+    Each captured frame contributes exactly one top-level client-lane
+    span (``client.process`` when the client ran, ``client.stale_wait``
+    when it was busy); averaging their durations over the measured
+    frames must reconcile with ``RunResult.mean_latency_ms()``.
+    """
+    durations = [
+        span.dur_ms
+        for span in tracer.spans
+        if span.parent_id is None
+        and span.name in FRAME_LATENCY_SPANS
+        and span.frame is not None
+        and span.frame >= warmup_frames
+        and span.lane.startswith("client")
+    ]
+    if not durations:
+        return 0.0
+    return sum(durations) / len(durations)

@@ -1,0 +1,233 @@
+"""Process-local metrics registry (zero-dependency).
+
+Three instrument kinds, all addressed by name through a
+:class:`MetricsRegistry`:
+
+* :class:`Counter` — monotonically increasing totals (anchors evaluated,
+  RoIs pruned, offloads per reason);
+* :class:`Gauge` — last-written values (outstanding offloads, map size);
+* :class:`Histogram` — fixed-bucket distributions with quantile
+  estimates (per-stage latencies, per-offload byte budgets).
+
+Handles are cheap plain objects; hot paths fetch them once at
+construction time and call ``inc``/``observe`` per event.  The
+:data:`NULL_METRICS` registry hands out no-op instruments so
+instrumented modules pay almost nothing when observability is disabled.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+]
+
+# Geometric-ish ladder covering sub-ms client stages up to multi-second
+# server queues; the open-ended overflow bucket is implicit.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+    200.0, 500.0, 1000.0, 2000.0, 5000.0,
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-value instrument."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantile estimates."""
+
+    name: str
+    buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS
+    counts: list[int] = field(default_factory=list)  # len(buckets) + 1
+    total: float = 0.0
+    count: int = 0
+    min_value: float = float("inf")
+    max_value: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        self.buckets = tuple(sorted(self.buckets))
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (bucket upper bounds, linear within a
+        bucket).  Exact at the recorded min/max for q = 0/1."""
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min_value
+        if q >= 1.0:
+            return self.max_value
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = (
+                    self.buckets[index - 1]
+                    if index > 0
+                    else max(self.min_value, 0.0)
+                )
+                upper = (
+                    self.buckets[index]
+                    if index < len(self.buckets)
+                    else self.max_value
+                )
+                lower = max(lower, self.min_value)
+                upper = min(max(upper, lower), self.max_value)
+                fraction = (target - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+        return self.max_value
+
+
+class MetricsRegistry:
+    """Name -> instrument map; instruments are created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                name, buckets or DEFAULT_LATENCY_BUCKETS_MS
+            )
+        return instrument
+
+    def snapshot(self) -> dict:
+        """JSON-serializable state, deterministically ordered by name."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "mean": h.mean,
+                    "min": h.min_value if h.count else 0.0,
+                    "max": h.max_value if h.count else 0.0,
+                    "p50": h.quantile(0.5),
+                    "p95": h.quantile(0.95),
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class _NullMetricsRegistry:
+    """Registry returned by the no-op tracer: hands out null instruments."""
+
+    __slots__ = ()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, buckets=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = _NullMetricsRegistry()

@@ -1,0 +1,330 @@
+"""Frame-level span tracer for the mobile/edge pipeline.
+
+The pipeline is a discrete-event simulation: every duration of interest
+(client stages, uplink/downlink, server queueing, inference) is a
+*simulated* number of milliseconds, so spans carry explicit
+``start_ms``/``dur_ms`` on the simulation clock rather than sampling a
+wall clock.  That makes traces fully deterministic — two identical runs
+produce byte-identical exports — and lets them be diffed across
+commits.  An optional wall-clock mode additionally records real elapsed
+time per span for profiling the simulator itself.
+
+Usage::
+
+    tracer = Tracer()
+    tracer.set_now(now_ms)                      # once per simulated frame
+    with tracer.span("mamt.predict", frame=ix, dur_ms=4.4):
+        ...                                     # nested spans attach here
+    tracer.event("offload.decision", frame=ix, reason="new-content")
+
+Instrumented modules default to :data:`NULL_TRACER`, whose methods do
+nothing and allocate nothing, so tracing is off unless a real tracer is
+injected (near-zero overhead when disabled).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .metrics import NULL_METRICS, MetricsRegistry
+
+__all__ = ["Span", "TraceEvent", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass
+class Span:
+    """One completed operation on one timeline lane."""
+
+    seq: int  # export order (assigned when the span closes)
+    span_id: int
+    parent_id: int | None
+    name: str
+    lane: str
+    start_ms: float
+    dur_ms: float
+    frame: int | None = None
+    attrs: dict = field(default_factory=dict)
+    wall_ms: float | None = None  # only in wall-clock mode
+
+    @property
+    def end_ms(self) -> float:
+        return self.start_ms + self.dur_ms
+
+    def to_record(self) -> dict:
+        record = {
+            "type": "span",
+            "seq": self.seq,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "lane": self.lane,
+            "start_ms": round(self.start_ms, 6),
+            "dur_ms": round(self.dur_ms, 6),
+        }
+        if self.frame is not None:
+            record["frame"] = self.frame
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.wall_ms is not None:
+            record["wall_ms"] = self.wall_ms
+        return record
+
+
+@dataclass
+class TraceEvent:
+    """One instantaneous structured event (offload decision, queue edge,
+    state transition, delivery...)."""
+
+    seq: int
+    name: str
+    lane: str
+    ts_ms: float
+    frame: int | None = None
+    attrs: dict = field(default_factory=dict)
+
+    def to_record(self) -> dict:
+        record = {
+            "type": "event",
+            "seq": self.seq,
+            "name": self.name,
+            "lane": self.lane,
+            "ts_ms": round(self.ts_ms, 6),
+        }
+        if self.frame is not None:
+            record["frame"] = self.frame
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+
+class _ActiveSpan:
+    """Context manager handed out by :meth:`Tracer.span`.
+
+    The simulated duration can be assigned inside the ``with`` block
+    (``sp.dur_ms = output.compute_ms``) when it is only known after the
+    work ran.
+    """
+
+    __slots__ = ("_tracer", "span", "_wall_start")
+
+    def __init__(self, tracer: Tracer, span: Span):
+        self._tracer = tracer
+        self.span = span
+        self._wall_start: float | None = None
+
+    @property
+    def dur_ms(self) -> float:
+        return self.span.dur_ms
+
+    @dur_ms.setter
+    def dur_ms(self, value: float) -> None:
+        self.span.dur_ms = float(value)
+
+    def set_sim(self, start_ms: float | None = None, dur_ms: float | None = None):
+        if start_ms is not None:
+            self.span.start_ms = float(start_ms)
+        if dur_ms is not None:
+            self.span.dur_ms = float(dur_ms)
+        return self
+
+    def annotate(self, **attrs) -> None:
+        self.span.attrs.update(attrs)
+
+    def __enter__(self):
+        self._tracer._stack.append(self.span.span_id)
+        if self._tracer.wall_clock:
+            self._wall_start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._wall_start is not None:
+            self.span.wall_ms = (time.perf_counter() - self._wall_start) * 1000.0
+        stack = self._tracer._stack
+        if stack and stack[-1] == self.span.span_id:
+            stack.pop()
+        self._tracer._finish_span(self.span)
+        return False
+
+
+class Tracer:
+    """Records spans + events on named lanes of a simulated timeline."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        wall_clock: bool = False,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.wall_clock = wall_clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans: list[Span] = []
+        self.events: list[TraceEvent] = []
+        self.now_ms = 0.0
+        self._stack: list[int] = []
+        self._next_id = 1
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------
+    def set_now(self, now_ms: float) -> None:
+        """Advance the tracer's idea of 'current simulated time'; spans
+        and events that do not pass explicit timestamps anchor here."""
+        self.now_ms = float(now_ms)
+
+    def span(
+        self,
+        name: str,
+        *,
+        lane: str = "client",
+        frame: int | None = None,
+        start_ms: float | None = None,
+        dur_ms: float = 0.0,
+        **attrs,
+    ) -> _ActiveSpan:
+        span = Span(
+            seq=-1,
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name,
+            lane=lane,
+            start_ms=self.now_ms if start_ms is None else float(start_ms),
+            dur_ms=float(dur_ms),
+            frame=frame,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        return _ActiveSpan(self, span)
+
+    def add_span(
+        self,
+        name: str,
+        *,
+        lane: str = "client",
+        frame: int | None = None,
+        start_ms: float | None = None,
+        dur_ms: float = 0.0,
+        **attrs,
+    ) -> Span:
+        """Record an already-complete span (pure simulated duration)."""
+        span = Span(
+            seq=-1,
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name,
+            lane=lane,
+            start_ms=self.now_ms if start_ms is None else float(start_ms),
+            dur_ms=float(dur_ms),
+            frame=frame,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self._finish_span(span)
+        return span
+
+    def event(
+        self,
+        name: str,
+        *,
+        lane: str = "client",
+        ts_ms: float | None = None,
+        frame: int | None = None,
+        **attrs,
+    ) -> TraceEvent:
+        record = TraceEvent(
+            seq=self._next_seq,
+            name=name,
+            lane=lane,
+            ts_ms=self.now_ms if ts_ms is None else float(ts_ms),
+            frame=frame,
+            attrs=attrs,
+        )
+        self._next_seq += 1
+        self.events.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def _finish_span(self, span: Span) -> None:
+        span.seq = self._next_seq
+        self._next_seq += 1
+        self.spans.append(span)
+
+    def records(self) -> list[dict]:
+        """All spans + events, merged in deterministic (seq) order."""
+        merged = [s.to_record() for s in self.spans]
+        merged.extend(e.to_record() for e in self.events)
+        merged.sort(key=lambda r: r["seq"])
+        return merged
+
+    def lanes(self) -> list[str]:
+        """Lane names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for record in sorted(
+            self.spans + self.events, key=lambda r: r.seq
+        ):
+            seen.setdefault(record.lane)
+        return list(seen)
+
+
+class _NullSpan:
+    """Reusable do-nothing span context manager."""
+
+    __slots__ = ()
+    dur_ms = 0.0
+
+    def set_sim(self, start_ms=None, dur_ms=None):
+        return self
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __setattr__(self, name, value):  # swallow `sp.dur_ms = ...`
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every method is a no-op.
+
+    Shared as the module-level :data:`NULL_TRACER` singleton; its span
+    and event stores are immutable empties, so a run against it provably
+    records nothing.
+    """
+
+    enabled = False
+    wall_clock = False
+    metrics = NULL_METRICS
+    spans: tuple = ()
+    events: tuple = ()
+    now_ms = 0.0
+
+    __slots__ = ()
+
+    def set_now(self, now_ms: float) -> None:
+        pass
+
+    def span(self, name, **kwargs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add_span(self, name, **kwargs) -> None:
+        return None
+
+    def event(self, name, **kwargs) -> None:
+        return None
+
+    def records(self) -> list:
+        return []
+
+    def lanes(self) -> list:
+        return []
+
+
+NULL_TRACER = NullTracer()

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from ..encoding.mask_codec import encoded_size_bytes
 from ..image.masks import InstanceMask, mask_iou
 from ..network.channel import Channel
+from ..obs.trace import NULL_TRACER, Tracer
 from ..synthetic.world import SyntheticVideo
 from .interface import ClientSystem
 from .pipeline import (
@@ -41,6 +42,9 @@ class ClientSession:
     pending: list[_PendingDelivery] = field(default_factory=list)
     metrics: list[FrameMetric] = field(default_factory=list)
     offload_count: int = 0
+    # Trace lane names (set by the pipeline from the session index).
+    client_lane: str = "client"
+    channel_lane: str = "channel"
 
 
 class MultiClientPipeline:
@@ -52,6 +56,7 @@ class MultiClientPipeline:
         server: EdgeServer,
         warmup_frames: int = 45,
         min_gt_area: int = 200,
+        tracer: Tracer | None = None,
     ):
         if not sessions:
             raise ValueError("MultiClientPipeline needs at least one session")
@@ -62,6 +67,13 @@ class MultiClientPipeline:
         self.server = server
         self.warmup_frames = warmup_frames
         self.min_gt_area = min_gt_area
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled and not server.tracer.enabled:
+            server.attach_tracer(self.tracer)
+        # One client+channel lane pair per device, one shared server lane.
+        for index, session in enumerate(self.sessions):
+            session.client_lane = f"client{index}"
+            session.channel_lane = f"channel{index}"
 
     def run(self) -> list[RunResult]:
         num_frames = len(self.sessions[0].video)
@@ -70,6 +82,7 @@ class MultiClientPipeline:
 
         for frame_index in range(num_frames):
             now = frame_index * frame_interval
+            self.tracer.set_now(now)
             for session in self.sessions:
                 self._step_session(session, frame_index, now, frame_interval)
 
@@ -91,6 +104,7 @@ class MultiClientPipeline:
     # ------------------------------------------------------------------
     def _step_session(self, session, frame_index, now, frame_interval) -> None:
         frame, truth = session.video.frame_at(frame_index)
+        tracer = self.tracer
 
         ready = [d for d in session.pending if d.arrive_ms <= now]
         session.pending = [d for d in session.pending if d.arrive_ms > now]
@@ -98,11 +112,34 @@ class MultiClientPipeline:
             integration = session.client.receive_result(
                 delivery.frame_index, delivery.masks, now
             )
-            session.busy_until_ms = max(session.busy_until_ms, now) + integration
+            integration_start = max(session.busy_until_ms, now)
+            session.busy_until_ms = integration_start + integration
+            if tracer.enabled:
+                tracer.event(
+                    "client.result_delivered",
+                    lane=session.client_lane,
+                    frame=delivery.frame_index,
+                    arrive_ms=round(delivery.arrive_ms, 6),
+                    num_masks=len(delivery.masks),
+                )
+                tracer.add_span(
+                    "client.integrate",
+                    lane=session.client_lane,
+                    frame=delivery.frame_index,
+                    start_ms=integration_start,
+                    dur_ms=integration,
+                )
 
         offloaded = False
         if session.busy_until_ms <= now:
-            output = session.client.process_frame(frame, truth, now)
+            with tracer.span(
+                "client.process",
+                lane=session.client_lane,
+                frame=frame_index,
+                start_ms=now,
+            ) as span:
+                output = session.client.process_frame(frame, truth, now)
+                span.dur_ms = output.compute_ms
             session.busy_until_ms = now + output.compute_ms
             session.last_masks = output.masks
             latency = output.compute_ms
@@ -114,6 +151,14 @@ class MultiClientPipeline:
         else:
             latency = (session.busy_until_ms - now) + frame_interval
             processed = False
+            tracer.add_span(
+                "client.stale_wait",
+                lane=session.client_lane,
+                frame=frame_index,
+                start_ms=now,
+                dur_ms=latency,
+                busy_until_ms=round(session.busy_until_ms, 6),
+            )
 
         rendered = {m.instance_id: m for m in session.last_masks}
         object_ious, object_areas = {}, {}
@@ -139,14 +184,44 @@ class MultiClientPipeline:
 
     def _dispatch(self, session, request, send_time_ms) -> None:
         frame, truth = session.video.frame_at(request.frame_index)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event(
+                "offload.dispatch",
+                lane=session.channel_lane,
+                ts_ms=send_time_ms,
+                frame=request.frame_index,
+                reason=request.reason,
+                payload_bytes=int(request.payload_bytes),
+                encode_ms=round(request.encode_ms, 6),
+            )
         uplink = session.channel.uplink_ms(request.payload_bytes)
         arrive = send_time_ms + request.encode_ms + uplink
+        if tracer.enabled:
+            tracer.add_span(
+                "channel.uplink",
+                lane=session.channel_lane,
+                frame=request.frame_index,
+                start_ms=send_time_ms + request.encode_ms,
+                dur_ms=uplink,
+                payload_bytes=int(request.payload_bytes),
+                server_free_on_arrival=self.server.is_free_at(arrive),
+            )
         completion, detections = self.server.submit(
             request, truth.masks, frame.shape, arrive
         )
-        downlink = session.channel.downlink_ms(
-            encoded_size_bytes(detections) + RESULT_HEADER_BYTES
-        )
+        result_bytes = encoded_size_bytes(detections) + RESULT_HEADER_BYTES
+        downlink = session.channel.downlink_ms(result_bytes)
+        if tracer.enabled:
+            tracer.add_span(
+                "channel.downlink",
+                lane=session.channel_lane,
+                frame=request.frame_index,
+                start_ms=completion,
+                dur_ms=downlink,
+                payload_bytes=int(result_bytes),
+                num_masks=len(detections),
+            )
         session.pending.append(
             _PendingDelivery(
                 arrive_ms=completion + downlink,

@@ -28,6 +28,7 @@ from ..image.masks import InstanceMask, mask_iou
 from ..model.degrade import degrade_mask_to_iou
 from ..model.maskrcnn import SimulatedSegmentationModel
 from ..network.channel import Channel
+from ..obs.trace import NULL_TRACER, Tracer
 from ..synthetic.world import SyntheticVideo
 from .interface import ClientSystem, OffloadRequest
 
@@ -149,11 +150,22 @@ class EdgeServer:
         self,
         model: SimulatedSegmentationModel,
         rng: np.random.Generator | None = None,
+        tracer: Tracer | None = None,
     ):
         self.model = model
         self._rng = rng or np.random.default_rng(7)
         self.free_at_ms = 0.0
         self.busy_ms_total = 0.0
+        self.attach_tracer(tracer if tracer is not None else NULL_TRACER)
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """(Re)bind a tracer — pipelines wire their own through here."""
+        self.tracer = tracer
+        metrics = tracer.metrics
+        self._m_requests = metrics.counter("server.requests")
+        self._h_queue_wait = metrics.histogram("server.queue_wait_ms")
+        self._h_infer = metrics.histogram("server.infer_ms")
+        self.model.attach_metrics(metrics)
 
     def submit(
         self,
@@ -164,6 +176,22 @@ class EdgeServer:
     ) -> tuple[float, list[InstanceMask]]:
         """Run inference; returns (completion time ms, detections)."""
         start = max(arrive_ms, self.free_at_ms)
+        tracer = self.tracer
+        if tracer.enabled:
+            if 0.0 < self.free_at_ms < arrive_ms:
+                tracer.add_span(
+                    "server.idle",
+                    lane="server",
+                    start_ms=self.free_at_ms,
+                    dur_ms=arrive_ms - self.free_at_ms,
+                )
+            tracer.event(
+                "server.queue_enter",
+                lane="server",
+                ts_ms=arrive_ms,
+                frame=request.frame_index,
+                was_free=self.is_free_at(arrive_ms),
+            )
         result = self.model.infer(
             truth_masks,
             image_shape,
@@ -195,11 +223,43 @@ class EdgeServer:
         completion = start + result.total_ms
         self.free_at_ms = completion
         self.busy_ms_total += result.total_ms
+        self._m_requests.inc()
+        self._h_queue_wait.observe(start - arrive_ms)
+        self._h_infer.observe(result.total_ms)
+        if tracer.enabled:
+            tracer.event(
+                "server.queue_exit",
+                lane="server",
+                ts_ms=start,
+                frame=request.frame_index,
+                queue_wait_ms=round(start - arrive_ms, 6),
+            )
+            attrs = {
+                "rpn_ms": round(result.rpn_ms, 6),
+                "inference_ms": round(result.inference_ms, 6),
+                "anchors_evaluated": result.anchors_evaluated,
+                "num_proposals": result.num_proposals,
+                "num_rois": result.num_rois,
+                "num_detections": len(detections),
+                "location_fraction": round(result.location_fraction, 6),
+            }
+            if result.pruning is not None:
+                attrs["rois_pruned_dominated"] = result.pruning.num_pruned_dominated
+                attrs["rois_pruned_nms"] = result.pruning.num_pruned_nms
+            tracer.add_span(
+                "server.infer",
+                lane="server",
+                frame=request.frame_index,
+                start_ms=start,
+                dur_ms=result.total_ms,
+                **attrs,
+            )
         return completion, detections
 
-    @property
-    def is_free(self) -> bool:  # pragma: no cover - convenience
-        return True
+    def is_free_at(self, now_ms: float) -> bool:
+        """True when a request arriving at ``now_ms`` would start at once
+        instead of queueing behind an earlier inference."""
+        return self.free_at_ms <= now_ms
 
 
 class Pipeline:
@@ -213,6 +273,7 @@ class Pipeline:
         server: EdgeServer,
         warmup_frames: int = 45,
         min_gt_area: int = 200,
+        tracer: Tracer | None = None,
     ):
         self.video = video
         self.client = client
@@ -223,6 +284,10 @@ class Pipeline:
         # video-segmentation datasets do not annotate barely-visible
         # occlusion remnants either.
         self.min_gt_area = min_gt_area
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled and not server.tracer.enabled:
+            server.attach_tracer(self.tracer)
+        self._pending_list: list[_PendingDelivery] = []
 
     def run(self) -> RunResult:
         frame_interval = 1000.0 / self.video.fps
@@ -230,24 +295,46 @@ class Pipeline:
         last_masks: list[InstanceMask] = []
         metrics: list[FrameMetric] = []
         offload_count = 0
+        tracer = self.tracer
 
         for frame, truth in self.video:
             now = frame.index * frame_interval
+            tracer.set_now(now)
 
             # 1. deliver completed edge results.
-            pending = self._pending()
+            pending = self._pending_list
             ready = [d for d in pending if d.arrive_ms <= now]
             pending[:] = [d for d in pending if d.arrive_ms > now]
             for delivery in sorted(ready, key=lambda d: d.arrive_ms):
                 integration_ms = self.client.receive_result(
                     delivery.frame_index, delivery.masks, now
                 )
-                client_busy_until = max(client_busy_until, now) + integration_ms
+                integration_start = max(client_busy_until, now)
+                client_busy_until = integration_start + integration_ms
+                if tracer.enabled:
+                    tracer.event(
+                        "client.result_delivered",
+                        lane="client",
+                        frame=delivery.frame_index,
+                        arrive_ms=round(delivery.arrive_ms, 6),
+                        num_masks=len(delivery.masks),
+                    )
+                    tracer.add_span(
+                        "client.integrate",
+                        lane="client",
+                        frame=delivery.frame_index,
+                        start_ms=integration_start,
+                        dur_ms=integration_ms,
+                    )
 
             # 2. client turn.
             offloaded = False
             if client_busy_until <= now:
-                output = self.client.process_frame(frame, truth, now)
+                with tracer.span(
+                    "client.process", lane="client", frame=frame.index, start_ms=now
+                ) as span:
+                    output = self.client.process_frame(frame, truth, now)
+                    span.dur_ms = output.compute_ms
                 client_busy_until = now + output.compute_ms
                 last_masks = output.masks
                 latency = output.compute_ms
@@ -259,6 +346,14 @@ class Pipeline:
             else:
                 latency = (client_busy_until - now) + frame_interval
                 processed = False
+                tracer.add_span(
+                    "client.stale_wait",
+                    lane="client",
+                    frame=frame.index,
+                    start_ms=now,
+                    dur_ms=latency,
+                    busy_until_ms=round(client_busy_until, 6),
+                )
 
             # 3. measure what is on screen against this frame's truth.
             rendered = {m.instance_id: m for m in last_masks}
@@ -299,25 +394,49 @@ class Pipeline:
 
     # ------------------------------------------------------------------
     def _dispatch(self, request: OffloadRequest, send_time_ms: float) -> None:
-        _, truth = self.video.frame_at(request.frame_index)
-        frame, _ = self.video.frame_at(request.frame_index)
+        frame, truth = self.video.frame_at(request.frame_index)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event(
+                "offload.dispatch",
+                lane="channel",
+                ts_ms=send_time_ms,
+                frame=request.frame_index,
+                reason=request.reason,
+                payload_bytes=int(request.payload_bytes),
+                encode_ms=round(request.encode_ms, 6),
+            )
         uplink = self.channel.uplink_ms(request.payload_bytes)
         arrive = send_time_ms + request.encode_ms + uplink
+        if tracer.enabled:
+            tracer.add_span(
+                "channel.uplink",
+                lane="channel",
+                frame=request.frame_index,
+                start_ms=send_time_ms + request.encode_ms,
+                dur_ms=uplink,
+                payload_bytes=int(request.payload_bytes),
+                server_free_on_arrival=self.server.is_free_at(arrive),
+            )
         completion, detections = self.server.submit(
             request, truth.masks, frame.shape, arrive
         )
-        downlink = self.channel.downlink_ms(
-            encoded_size_bytes(detections) + RESULT_HEADER_BYTES
-        )
+        result_bytes = encoded_size_bytes(detections) + RESULT_HEADER_BYTES
+        downlink = self.channel.downlink_ms(result_bytes)
+        if tracer.enabled:
+            tracer.add_span(
+                "channel.downlink",
+                lane="channel",
+                frame=request.frame_index,
+                start_ms=completion,
+                dur_ms=downlink,
+                payload_bytes=int(result_bytes),
+                num_masks=len(detections),
+            )
         self._deliver(request.frame_index, detections, completion + downlink)
 
     def _deliver(self, frame_index: int, masks: list[InstanceMask], at_ms: float) -> None:
         # Bound method split out so tests can intercept deliveries.
-        self._pending().append(
+        self._pending_list.append(
             _PendingDelivery(arrive_ms=at_ms, frame_index=frame_index, masks=masks)
         )
-
-    def _pending(self) -> list[_PendingDelivery]:
-        if not hasattr(self, "_pending_list"):
-            self._pending_list: list[_PendingDelivery] = []
-        return self._pending_list

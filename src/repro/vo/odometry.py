@@ -116,7 +116,11 @@ class VisualOdometry:
         camera: PinholeCamera,
         config: VOConfig | None = None,
         rng: np.random.Generator | None = None,
+        tracer=None,
     ):
+        from ..obs.trace import NULL_TRACER
+
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self.camera = camera
         self.config = config or VOConfig()
         self.map = LabeledMap(
@@ -141,11 +145,21 @@ class VisualOdometry:
     def process_frame(
         self, frame_index: int, timestamp: float, observation: Observation
     ) -> TrackingResult:
+        previous_state = self.state
         if self.state is VOState.INITIALIZING:
             result = self._try_initialize(frame_index, timestamp, observation)
         else:
             result = self._track(frame_index, timestamp, observation)
         self._remember(frame_index, timestamp, observation, result)
+        if self.state is not previous_state:
+            self._tracer.event(
+                "vo.state_transition",
+                lane="client",
+                frame=frame_index,
+                from_state=previous_state.value,
+                to_state=self.state.value,
+                num_matches=result.num_matches,
+            )
         return result
 
     def promote_keyframe(self, frame_index: int) -> bool:
@@ -168,6 +182,12 @@ class VisualOdometry:
             point_ids=recent.matched_point_ids.copy(),
         )
         self.map.add_keyframe(record)
+        self._tracer.event(
+            "vo.keyframe_promoted",
+            lane="client",
+            frame=frame_index,
+            num_points=int(len(record.point_ids)),
+        )
         return True
 
     def apply_segmentation(self, frame_index: int, masks: list[InstanceMask]) -> bool:

@@ -195,3 +195,69 @@ class TestRunResultSerialization:
     def test_summary_only_by_default(self):
         result = make_pipeline(_NullClient(), frames=10).run()
         assert "frames" not in result.to_dict()
+
+    def test_to_dict_frame_entries_match_metrics(self):
+        result = make_pipeline(_OffloadOnceClient(), frames=20).run()
+        payload = result.to_dict(include_frames=True)
+        assert len(payload["frames"]) == len(result.frames)
+        for entry, metric in zip(payload["frames"], result.frames):
+            assert entry["frame"] == metric.frame_index
+            assert entry["latency_ms"] == metric.latency_ms
+            assert entry["processed"] == metric.client_processed
+            assert entry["offloaded"] == metric.offloaded
+            assert entry["ious"] == {
+                str(k): v for k, v in metric.object_ious.items()
+            }
+        assert any(entry["offloaded"] for entry in payload["frames"])
+
+
+class TestRunResultAggregates:
+    def test_iou_cdf_custom_grid(self):
+        result = make_pipeline(_NullClient(), frames=20).run()
+        grid = np.array([0.0, 0.5, 1.0])
+        out_grid, cdf = result.iou_cdf(grid)
+        assert out_grid is grid
+        # A null client scores IoU 0 on every object: full mass at 0.
+        assert cdf.tolist() == [1.0, 1.0, 1.0]
+
+    def test_iou_cdf_empty_measured_set(self):
+        result = make_pipeline(_NullClient(), frames=20).run()
+        result.frames = [f for f in result.frames if False]
+        grid, cdf = result.iou_cdf()
+        assert (cdf == 0.0).all()
+        assert len(grid) == len(cdf)
+
+    def test_server_utilization_bounds(self):
+        idle = make_pipeline(_NullClient(), frames=20).run()
+        assert idle.server_utilization() == 0.0
+        busy = make_pipeline(_OffloadOnceClient(), frames=20).run()
+        assert 0.0 < busy.server_utilization() <= 1.0
+        # One ~400 ms inference inside a ~660 ms run.
+        assert busy.server_utilization() == pytest.approx(
+            busy.server_busy_ms / busy.duration_ms
+        )
+
+
+class TestEdgeServerAvailability:
+    def test_is_free_at_tracks_free_at_ms(self):
+        server = EdgeServer(
+            SimulatedSegmentationModel("mask_rcnn_r101", rng=np.random.default_rng(0))
+        )
+        assert server.is_free_at(0.0)
+        video = make_dataset("xiph_like", num_frames=1, resolution=(160, 120))
+        _, truth = video.frame_at(0)
+        request = OffloadRequest(frame_index=0, payload_bytes=0, encode_ms=0.0)
+        done, _ = server.submit(request, truth.masks, (120, 160), arrive_ms=10.0)
+        assert server.free_at_ms == done
+        assert not server.is_free_at(done - 1.0)
+        assert server.is_free_at(done)
+        assert server.is_free_at(done + 1.0)
+
+
+class TestPipelineState:
+    def test_pending_list_initialized_in_init(self):
+        pipeline = make_pipeline(_NullClient(), frames=5)
+        # No lazy hasattr-guarded creation: the queue exists before run().
+        assert pipeline._pending_list == []
+        pipeline.run()
+        assert pipeline._pending_list == []  # drained by the end of the run
