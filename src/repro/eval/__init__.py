@@ -9,7 +9,7 @@ from .experiments import (
     run_experiment,
     run_grid,
 )
-from .reporting import Table, format_cdf, save_json
+from .reporting import SCHEMA_VERSION, Table, format_cdf, result_payload, save_json
 from .field_study import FieldDevice, FieldStudyResult, run_field_study
 from .trajectory_metrics import TrajectoryErrors, evaluate_trajectory, umeyama_alignment
 
@@ -21,8 +21,10 @@ __all__ = [
     "build_client",
     "run_experiment",
     "run_grid",
+    "SCHEMA_VERSION",
     "Table",
     "format_cdf",
+    "result_payload",
     "save_json",
     "FieldDevice",
     "FieldStudyResult",

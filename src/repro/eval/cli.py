@@ -6,25 +6,37 @@ Examples::
         --network wifi_2.4ghz --frames 200 --json results/kitti.json
     python -m repro.eval.cli compare --dataset xiph_like
     python -m repro.eval.cli trace fig9 --frames 150 --out results/traces/fig9
+    python -m repro.eval.cli bench run --suite smoke --label dev
+    python -m repro.eval.cli bench compare results/BENCH_smoke_old.json \
+        results/BENCH_smoke_new.json
+    python -m repro.eval.cli bench trend
     python -m repro.eval.cli list
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from ..network.channel import CHANNELS
 from ..obs import (
+    FRAME_BUDGET_MS,
+    SUITES,
+    compare_payloads,
     mean_frame_latency_ms,
+    render_comparison,
+    run_suite,
     stage_table,
+    write_bench,
     write_chrome_trace,
     write_jsonl,
+    write_trend_report,
 )
 from ..synthetic.datasets import COMPLEXITY_LEVELS, DATASET_NAMES
 from .experiments import ABLATION_NAMES, SYSTEM_NAMES, ExperimentSpec, run_experiment
-from .reporting import Table, format_cdf, save_json
+from .reporting import Table, result_payload, save_json
 
 __all__ = ["main", "TRACE_BENCHES"]
 
@@ -51,21 +63,6 @@ def _spec_from_args(args, system: str | None = None) -> ExperimentSpec:
     )
 
 
-def _result_payload(result) -> dict:
-    return {
-        "system": result.system,
-        "mean_iou": result.mean_iou(),
-        "false_rate_75": result.false_rate(0.75),
-        "false_rate_50": result.false_rate(0.5),
-        "mean_latency_ms": result.mean_latency_ms(),
-        "offload_count": result.offload_count,
-        "bytes_up": result.bytes_up,
-        "bytes_down": result.bytes_down,
-        "server_utilization": result.server_utilization(),
-        "iou_cdf": format_cdf(result.per_object_ious()),
-    }
-
-
 def _cmd_run(args) -> int:
     spec = _spec_from_args(args)
     outcome = run_experiment(spec)
@@ -74,7 +71,7 @@ def _cmd_run(args) -> int:
         f"{spec.system} on {spec.dataset} over {spec.network}",
         ["metric", "value"],
     )
-    payload = _result_payload(result)
+    payload = result_payload(result)
     for key in (
         "mean_iou",
         "false_rate_75",
@@ -99,7 +96,7 @@ def _cmd_compare(args) -> int:
     payloads = {}
     for system in SYSTEM_NAMES:
         result = run_experiment(_spec_from_args(args, system=system)).result
-        payload = _result_payload(result)
+        payload = result_payload(result)
         payloads[system] = payload
         table.add_row(
             system,
@@ -164,6 +161,68 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_bench_run(args) -> int:
+    """Run a benchmark suite and write its BENCH artifact."""
+    payload = run_suite(
+        args.suite, args.label, degrade=args.degrade, budget_ms=args.budget_ms
+    )
+    path = write_bench(payload, args.out)
+    table = Table(
+        f"bench {args.suite} [{args.label}] — {args.budget_ms:.2f} ms budget",
+        [
+            "scenario",
+            "frames",
+            "mean IoU",
+            "frame p50 ms",
+            "frame p99 ms",
+            "miss rate",
+            "worst streak",
+        ],
+    )
+    for name in sorted(payload["scenarios"]):
+        scenario = payload["scenarios"][name]
+        slo = scenario["slo"]
+        table.add_row(
+            name,
+            slo["frames"],
+            scenario["result"]["mean_iou"],
+            slo["latency_p50_ms"],
+            slo["latency_p99_ms"],
+            slo["miss_rate"],
+            slo["worst_streak"],
+        )
+    table.print()
+    print(f"wrote  {path}")
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    """Diff two BENCH artifacts; exit non-zero on any regression."""
+    old = json.loads(Path(args.old).read_text())
+    new = json.loads(Path(args.new).read_text())
+    report = compare_payloads(old, new, threshold_scale=args.threshold_scale)
+    render_comparison(report).print()
+    print(
+        f"{len(report['improved'])} improved, {len(report['regressed'])} "
+        f"regressed, {report['neutral_count']} neutral"
+    )
+    for path in report["missing"]:
+        print(f"note: metric disappeared: {path}")
+    if report["regressed"]:
+        for path in report["regressed"]:
+            print(f"REGRESSED: {path}")
+        return 1
+    return 0
+
+
+def _cmd_bench_trend(args) -> int:
+    """Fold every BENCH artifact in the results dir into the trend report."""
+    out = write_trend_report(args.results_dir, args.out)
+    print(out.read_text())
+    print(f"wrote  {out}")
+    return 0
+
+
 def _cmd_list(args) -> int:
     print("systems:   ", ", ".join(SYSTEM_NAMES))
     print("ablations: ", ", ".join(ABLATION_NAMES))
@@ -171,6 +230,7 @@ def _cmd_list(args) -> int:
     print("complexity:", ", ".join(COMPLEXITY_LEVELS))
     print("networks:  ", ", ".join(sorted(CHANNELS)))
     print("traces:    ", ", ".join(TRACE_BENCHES))
+    print("suites:    ", ", ".join(sorted(SUITES)))
     return 0
 
 
@@ -230,6 +290,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally record wall-clock span times (breaks trace diffability)",
     )
     trace_parser.set_defaults(func=_cmd_trace)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="benchmark suites: SLO tracking, percentiles, regression gate",
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run a suite and write BENCH_<suite>_<label>.json"
+    )
+    bench_run.add_argument("--suite", default="smoke", choices=sorted(SUITES))
+    bench_run.add_argument(
+        "--label", default="dev", help="artifact label (BENCH_<suite>_<label>.json)"
+    )
+    bench_run.add_argument(
+        "--out", default="results", help="output directory (default results/)"
+    )
+    bench_run.add_argument(
+        "--degrade",
+        type=float,
+        default=1.0,
+        help="synthetically slow the edge server by this factor (gate self-test)",
+    )
+    bench_run.add_argument(
+        "--budget-ms",
+        type=float,
+        default=FRAME_BUDGET_MS,
+        help="per-frame deadline for SLO evaluation (default 33.33 ms = 30 fps)",
+    )
+    bench_run.set_defaults(func=_cmd_bench_run)
+
+    bench_compare = bench_sub.add_parser(
+        "compare", help="diff two BENCH artifacts; non-zero exit on regression"
+    )
+    bench_compare.add_argument("old", help="baseline BENCH json")
+    bench_compare.add_argument("new", help="candidate BENCH json")
+    bench_compare.add_argument(
+        "--threshold-scale",
+        type=float,
+        default=1.0,
+        help="scale every per-metric threshold (loose CI gates use > 1)",
+    )
+    bench_compare.set_defaults(func=_cmd_bench_compare)
+
+    bench_trend = bench_sub.add_parser(
+        "trend", help="fold results/BENCH_*.json into the trend report"
+    )
+    bench_trend.add_argument("--results-dir", default="results")
+    bench_trend.add_argument(
+        "--out", default=None, help="report path (default <results-dir>/README.md)"
+    )
+    bench_trend.set_defaults(func=_cmd_bench_trend)
 
     list_parser = subparsers.add_parser("list", help="list available names")
     list_parser.set_defaults(func=_cmd_list)

@@ -19,6 +19,7 @@ from ..baselines.systems import (
 )
 from ..core.config import SystemConfig
 from ..core.system import EdgeISSystem
+from ..model.costs import DEVICES, DeviceProfile
 from ..model.maskrcnn import SimulatedSegmentationModel
 from ..network.channel import make_channel
 from ..obs.trace import NULL_TRACER, Tracer
@@ -95,6 +96,10 @@ class ExperimentSpec:
     complexity: str | None = None  # use make_complexity_scene instead
     dynamic: bool | None = None
     server_device: str = "jetson_tx2"
+    # Synthetic slowdown of the edge device (the bench degrade knob):
+    # the server's speed is divided by this, so 2.0 doubles inference
+    # latency.  Used to self-test the perf regression gate.
+    server_latency_scale: float = 1.0
     warmup_frames: int = 45
     seed: int = 0
     monitor_resources: bool = False
@@ -138,10 +143,16 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentOutcome:
     video = _make_video(spec)
     client = build_client(spec.system, video, seed=spec.seed, tracer=tracer)
     channel = make_channel(spec.network, np.random.default_rng(spec.seed + 17))
+    device = DEVICES[spec.server_device]
+    if spec.server_latency_scale != 1.0:
+        device = DeviceProfile(
+            f"{device.name}-x{spec.server_latency_scale:g}",
+            device.speed / spec.server_latency_scale,
+        )
     server = EdgeServer(
         SimulatedSegmentationModel(
             "mask_rcnn_r101",
-            spec.server_device,
+            device,
             np.random.default_rng(spec.seed + 29),
             metrics=tracer.metrics,
         ),

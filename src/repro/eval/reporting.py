@@ -13,7 +13,13 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["Table", "format_cdf", "save_json"]
+__all__ = ["SCHEMA_VERSION", "Table", "format_cdf", "result_payload", "save_json"]
+
+# Version of every JSON artifact built on ``result_payload`` (the
+# ``repro run``/``repro compare`` outputs and the per-scenario ``result``
+# section of BENCH files).  Bump when the payload shape changes;
+# ``repro bench compare`` refuses to diff mismatched versions.
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -64,6 +70,32 @@ def format_cdf(
     if len(ious) == 0:
         return {p: 0.0 for p in points}
     return {p: float((ious <= p).mean()) for p in points}
+
+
+def result_payload(result) -> dict:
+    """The canonical JSON summary of one ``RunResult``.
+
+    Shared by ``repro run``, ``repro compare`` and the ``result`` section
+    of every BENCH artifact, so the same keys mean the same thing
+    everywhere.  All values are plain JSON types (CDF keys are strings),
+    so the payload round-trips losslessly through ``save_json``.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "system": result.system,
+        "mean_iou": float(result.mean_iou()),
+        "false_rate_75": float(result.false_rate(0.75)),
+        "false_rate_50": float(result.false_rate(0.5)),
+        "mean_latency_ms": float(result.mean_latency_ms()),
+        "offload_count": int(result.offload_count),
+        "bytes_up": int(result.bytes_up),
+        "bytes_down": int(result.bytes_down),
+        "server_utilization": float(result.server_utilization()),
+        "iou_cdf": {
+            f"{point:g}": value
+            for point, value in format_cdf(result.per_object_ious()).items()
+        },
+    }
 
 
 def save_json(path: str | Path, payload: dict) -> None:

@@ -24,6 +24,24 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .slo import FRAME_BUDGET_MS, evaluate_slo, exact_percentile, frame_latency_spans
+from .bench import (
+    SUITES,
+    BenchScenario,
+    bench_filename,
+    dump_bench,
+    run_scenario,
+    run_suite,
+    stage_percentiles,
+    write_bench,
+)
+from .compare import (
+    compare_payloads,
+    load_bench_dir,
+    render_comparison,
+    render_trend_markdown,
+    write_trend_report,
+)
 
 __all__ = [
     "Counter",
@@ -45,4 +63,21 @@ __all__ = [
     "to_jsonl_lines",
     "write_chrome_trace",
     "write_jsonl",
+    "FRAME_BUDGET_MS",
+    "evaluate_slo",
+    "exact_percentile",
+    "frame_latency_spans",
+    "SUITES",
+    "BenchScenario",
+    "bench_filename",
+    "dump_bench",
+    "run_scenario",
+    "run_suite",
+    "stage_percentiles",
+    "write_bench",
+    "compare_payloads",
+    "load_bench_dir",
+    "render_comparison",
+    "render_trend_markdown",
+    "write_trend_report",
 ]

@@ -1,0 +1,253 @@
+"""Benchmark-suite runner: named scenarios -> versioned BENCH artifacts.
+
+One suite is a tuple of :class:`BenchScenario` cells; running it executes
+each cell through the experiment harness with tracing on and folds the
+trace into a machine-readable ``BENCH_<suite>_<label>.json`` containing:
+
+* the shared ``result_payload`` summary (IoU, false rates, latency,
+  bytes) per scenario;
+* per-stage latency percentiles — exact p50/p90/p99 from the full
+  per-span sample sets, plus the fixed-bucket
+  :meth:`Histogram.percentile` estimate so the two can be reconciled;
+* the frame-deadline SLO report (:mod:`repro.obs.slo`): miss rate,
+  worst streak, per-stage budget attribution;
+* offload/bandwidth counters (CFRS decisions, server requests, bytes);
+* an environment fingerprint.
+
+Because the pipeline runs on a simulated clock, a suite is fully
+deterministic: two runs on the same machine produce **byte-identical**
+artifacts, so BENCH files can be committed, diffed and regression-gated
+(see :mod:`repro.obs.compare` and ``repro bench compare``).
+
+The ``degrade`` knob synthetically slows the edge server by the given
+factor (device speed divided by it) — the self-test for the regression
+gate: a degraded run must make ``repro bench compare`` fail, naming the
+``server.infer`` stage.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .metrics import Histogram
+from .slo import FRAME_BUDGET_MS, evaluate_slo, exact_percentile
+from .trace import Tracer
+
+__all__ = [
+    "BenchScenario",
+    "SUITES",
+    "environment_fingerprint",
+    "stage_percentiles",
+    "run_scenario",
+    "run_suite",
+    "bench_filename",
+    "dump_bench",
+    "write_bench",
+]
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One named cell of a benchmark suite."""
+
+    name: str
+    dataset: str = "xiph_like"
+    network: str = "wifi_5ghz"
+    motion: str = "walk"
+    system: str = "edgeis"
+    frames: int = 150
+    resolution: tuple[int, int] = (320, 240)
+    warmup_frames: int = 45
+    seed: int = 0
+    server_device: str = "jetson_tx2"
+
+
+# Suite sizing: ``micro`` is one small cell for unit tests and quick local
+# sanity runs; ``smoke`` is the CI perf gate (two networks, ~30 s total);
+# ``full`` mirrors the paper-figure trace scenarios.
+SUITES: dict[str, tuple[BenchScenario, ...]] = {
+    "micro": (
+        BenchScenario(
+            "wifi5-walk", frames=80, resolution=(160, 120), warmup_frames=30
+        ),
+    ),
+    "smoke": (
+        BenchScenario(
+            "wifi5-walk", frames=96, resolution=(224, 168), warmup_frames=24
+        ),
+        BenchScenario(
+            "lte-walk",
+            network="lte",
+            frames=96,
+            resolution=(224, 168),
+            warmup_frames=24,
+        ),
+    ),
+    "full": (
+        BenchScenario("fig9-wifi5"),
+        BenchScenario("fig10-wifi24", network="wifi_2.4ghz"),
+        BenchScenario("fig10-lte", network="lte"),
+        BenchScenario("fig12-jog", dataset="kitti_like", motion="jog"),
+    ),
+}
+
+
+def environment_fingerprint() -> dict:
+    """Where the suite ran — stable across runs on one machine, so it
+    does not break byte-identical artifacts; differs across machines so
+    cross-host comparisons are explainable."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+    }
+
+
+def stage_percentiles(tracer: Tracer) -> dict[str, dict]:
+    """``"lane/stage" -> latency stats`` over every span of the trace.
+
+    p50/p90/p99 are exact (full sample set retained); ``hist_p90_ms`` /
+    ``hist_p99_ms`` are the fixed-bucket :meth:`Histogram.percentile`
+    estimates of the same distribution, kept alongside so drift between
+    the streaming estimator and ground truth is itself observable.
+    """
+    samples: dict[str, list[float]] = {}
+    for span in tracer.spans:
+        samples.setdefault(f"{span.lane}/{span.name}", []).append(span.dur_ms)
+    stages: dict[str, dict] = {}
+    for key in sorted(samples):
+        durations = samples[key]
+        hist = Histogram(key)
+        for value in durations:
+            hist.observe(value)
+        stages[key] = {
+            "count": len(durations),
+            "total_ms": round(sum(durations), 6),
+            "mean_ms": round(sum(durations) / len(durations), 6),
+            "p50_ms": round(exact_percentile(durations, 50.0), 6),
+            "p90_ms": round(exact_percentile(durations, 90.0), 6),
+            "p99_ms": round(exact_percentile(durations, 99.0), 6),
+            "max_ms": round(max(durations), 6),
+            "hist_p90_ms": round(hist.percentile(90.0), 6),
+            "hist_p99_ms": round(hist.percentile(99.0), 6),
+        }
+    return stages
+
+
+def run_scenario(
+    scenario: BenchScenario,
+    degrade: float = 1.0,
+    budget_ms: float = FRAME_BUDGET_MS,
+) -> dict:
+    """Run one scenario traced and fold it into its JSON payload."""
+    # Imported here: ``repro.eval`` imports the runtime, which imports
+    # this package — a module-level import would be circular.
+    from ..eval.experiments import ExperimentSpec, run_experiment
+    from ..eval.reporting import result_payload
+
+    spec = ExperimentSpec(
+        system=scenario.system,
+        dataset=scenario.dataset,
+        network=scenario.network,
+        num_frames=scenario.frames,
+        resolution=scenario.resolution,
+        motion_grade=scenario.motion,
+        warmup_frames=scenario.warmup_frames,
+        seed=scenario.seed,
+        server_device=scenario.server_device,
+        server_latency_scale=degrade,
+        trace=True,
+    )
+    outcome = run_experiment(spec)
+    tracer = outcome.tracer
+    counters = tracer.metrics.snapshot()["counters"]
+    return {
+        "spec": {
+            "system": scenario.system,
+            "dataset": scenario.dataset,
+            "network": scenario.network,
+            "motion": scenario.motion,
+            "frames": scenario.frames,
+            "resolution": list(scenario.resolution),
+            "warmup_frames": scenario.warmup_frames,
+            "seed": scenario.seed,
+            "server_device": scenario.server_device,
+            "degrade": degrade,
+        },
+        "result": result_payload(outcome.result),
+        "stages": stage_percentiles(tracer),
+        "slo": evaluate_slo(
+            tracer, budget_ms=budget_ms, warmup_frames=scenario.warmup_frames
+        ),
+        "offload": {
+            "offload_count": int(outcome.result.offload_count),
+            "bytes_up": int(outcome.result.bytes_up),
+            "bytes_down": int(outcome.result.bytes_down),
+            "counters": dict(sorted(counters.items())),
+        },
+    }
+
+
+def run_suite(
+    suite: str,
+    label: str,
+    degrade: float = 1.0,
+    budget_ms: float = FRAME_BUDGET_MS,
+) -> dict:
+    """Run every scenario of a named suite into one BENCH payload."""
+    from ..eval.reporting import SCHEMA_VERSION
+
+    if suite not in SUITES:
+        raise KeyError(
+            f"unknown suite {suite!r}; available: {', '.join(sorted(SUITES))}"
+        )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "bench",
+        "suite": suite,
+        "label": label,
+        "budget_ms": round(budget_ms, 6),
+        "degrade": degrade,
+        "environment": environment_fingerprint(),
+        "scenarios": {
+            scenario.name: run_scenario(scenario, degrade, budget_ms)
+            for scenario in SUITES[suite]
+        },
+    }
+
+
+def bench_filename(suite: str, label: str) -> str:
+    return f"BENCH_{suite}_{label}.json"
+
+
+def _json_default(obj):
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON serializable: {type(obj)}")
+
+
+def dump_bench(payload: dict) -> str:
+    """Canonical serialized form — sorted keys, so equal payloads are
+    byte-identical files."""
+    return (
+        json.dumps(payload, sort_keys=True, indent=2, default=_json_default)
+        + "\n"
+    )
+
+
+def write_bench(payload: dict, out_dir: str | Path) -> Path:
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / bench_filename(payload["suite"], payload["label"])
+    path.write_text(dump_bench(payload))
+    return path

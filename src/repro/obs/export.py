@@ -160,8 +160,11 @@ def stage_summary(tracer: Tracer) -> dict[tuple[str, str], dict]:
 
     Aggregates every span by name; nested stages appear alongside their
     parents (use the parent/child ids in the JSONL to reconstruct
-    containment).
+    containment).  A tracer with no spans (fresh, disabled, or a run
+    that recorded nothing) yields an empty dict — never an error.
     """
+    if not tracer.spans:
+        return {}
     histograms: dict[tuple[str, str], Histogram] = {}
     for span in tracer.spans:
         key = (span.lane, span.name)
@@ -188,6 +191,8 @@ def _stage_sort(key: tuple[str, str]) -> tuple:
 
 
 def stage_table(tracer: Tracer, title: str = "per-stage latency"):
+    """Render :func:`stage_summary` as a text table; on a span-less
+    tracer this is a header-only table, not an error."""
     # Imported here: ``repro.eval`` imports the runtime, which imports
     # this package — a module-level import would be circular.
     from ..eval.reporting import Table
@@ -216,7 +221,8 @@ def mean_frame_latency_ms(tracer: Tracer, warmup_frames: int = 0) -> float:
     Each captured frame contributes exactly one top-level client-lane
     span (``client.process`` when the client ran, ``client.stale_wait``
     when it was busy); averaging their durations over the measured
-    frames must reconcile with ``RunResult.mean_latency_ms()``.
+    frames must reconcile with ``RunResult.mean_latency_ms()``.  A trace
+    with no such spans yields 0.0, mirroring an empty ``RunResult``.
     """
     durations = [
         span.dur_ms

@@ -122,6 +122,16 @@ class Histogram:
             cumulative += bucket_count
         return self.max_value
 
+    def percentile(self, p: float) -> float:
+        """Estimated p-th percentile, ``p`` on the [0, 100] scale.
+
+        Same interpolation as :meth:`quantile`; 0.0 on an empty histogram,
+        clamped to the recorded min/max (so values landing in the implicit
+        overflow bucket beyond the last boundary resolve to real samples,
+        not to ``inf``).
+        """
+        return self.quantile(p / 100.0)
+
 
 class MetricsRegistry:
     """Name -> instrument map; instruments are created on first use."""

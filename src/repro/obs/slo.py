@@ -1,0 +1,138 @@
+"""Frame-deadline SLO evaluation over a recorded trace.
+
+The paper's headline requirement is hard real time: 30 fps end to end,
+i.e. every displayed frame must fit a ~33.3 ms budget.  This module turns
+one :class:`~repro.obs.trace.Tracer` into a deadline report:
+
+* **miss rate** — fraction of measured frames whose display latency
+  exceeded the budget;
+* **worst streak** — the longest run of *consecutive* missed frames (a
+  3-frame stutter is far more visible than three isolated misses);
+* **attribution** — for each missed deadline, the stage that "ate" the
+  budget: the largest child stage of that frame's ``client.process``
+  span, or ``client.stale_wait`` when the client never got to the frame
+  at all.
+
+Everything is computed from the simulated-clock spans, so two identical
+runs produce byte-identical SLO reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .export import FRAME_LATENCY_SPANS
+from .trace import Span, Tracer
+
+__all__ = [
+    "FRAME_BUDGET_MS",
+    "exact_percentile",
+    "frame_latency_spans",
+    "evaluate_slo",
+]
+
+# The paper's real-time target: 30 fps, one frame interval per frame.
+FRAME_BUDGET_MS = 1000.0 / 30.0
+
+
+def exact_percentile(samples, pct: float) -> float:
+    """Exact p-th percentile (linear interpolation) of a sample list.
+
+    Unlike :meth:`Histogram.percentile` this retains every sample, so it
+    is exact; use it where the sample set is small enough to keep (one
+    entry per frame or per stage invocation).
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pct = min(max(pct, 0.0), 100.0)
+    rank = (len(ordered) - 1) * (pct / 100.0)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    fraction = rank - low
+    return float(ordered[low] + (ordered[high] - ordered[low]) * fraction)
+
+
+def frame_latency_spans(
+    tracer: Tracer, warmup_frames: int = 0
+) -> list[Span]:
+    """Top-level client-lane spans carrying one frame's display latency,
+    ordered by frame index (same selection as ``mean_frame_latency_ms``)."""
+    spans = [
+        span
+        for span in tracer.spans
+        if span.parent_id is None
+        and span.name in FRAME_LATENCY_SPANS
+        and span.frame is not None
+        and span.frame >= warmup_frames
+        and span.lane.startswith("client")
+    ]
+    spans.sort(key=lambda s: (s.lane, s.frame))
+    return spans
+
+
+def _blame_stage(span: Span, children: dict[int, list[Span]]) -> str:
+    """The stage charged for a missed deadline: the longest child stage
+    of the frame's top-level span, or the span itself when it has none
+    (stale frames, baseline clients without stage instrumentation)."""
+    stage_spans = children.get(span.span_id)
+    if not stage_spans:
+        return span.name
+    return min(stage_spans, key=lambda s: (-s.dur_ms, s.name)).name
+
+
+def evaluate_slo(
+    tracer: Tracer,
+    budget_ms: float = FRAME_BUDGET_MS,
+    warmup_frames: int = 0,
+) -> dict:
+    """Evaluate the frame-deadline SLO over a traced run.
+
+    Returns a JSON-clean dict: frame/miss counts, miss rate, worst
+    consecutive-miss streak, total/max overshoot, exact latency
+    percentiles, and per-stage attribution counts for the misses.
+    """
+    spans = frame_latency_spans(tracer, warmup_frames=warmup_frames)
+    children: dict[int, list[Span]] = {}
+    for span in tracer.spans:
+        if span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append(span)
+
+    latencies = [span.dur_ms for span in spans]
+    misses = 0
+    streak = 0
+    worst_streak = 0
+    total_over = 0.0
+    max_over = 0.0
+    attribution: dict[str, int] = {}
+    for span in spans:
+        if span.dur_ms > budget_ms:
+            misses += 1
+            streak += 1
+            worst_streak = max(worst_streak, streak)
+            over = span.dur_ms - budget_ms
+            total_over += over
+            max_over = max(max_over, over)
+            stage = _blame_stage(span, children)
+            attribution[stage] = attribution.get(stage, 0) + 1
+        else:
+            streak = 0
+
+    frames = len(spans)
+    return {
+        "budget_ms": round(budget_ms, 6),
+        "frames": frames,
+        "misses": misses,
+        "miss_rate": round(misses / frames, 6) if frames else 0.0,
+        "worst_streak": worst_streak,
+        "total_over_ms": round(total_over, 6),
+        "max_over_ms": round(max_over, 6),
+        "latency_p50_ms": round(exact_percentile(latencies, 50.0), 6),
+        "latency_p90_ms": round(exact_percentile(latencies, 90.0), 6),
+        "latency_p99_ms": round(exact_percentile(latencies, 99.0), 6),
+        "attribution": {name: attribution[name] for name in sorted(attribution)},
+    }

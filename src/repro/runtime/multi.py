@@ -57,6 +57,7 @@ class MultiClientPipeline:
         warmup_frames: int = 45,
         min_gt_area: int = 200,
         tracer: Tracer | None = None,
+        deadline_budget_ms: float | None = None,
     ):
         if not sessions:
             raise ValueError("MultiClientPipeline needs at least one session")
@@ -67,9 +68,15 @@ class MultiClientPipeline:
         self.server = server
         self.warmup_frames = warmup_frames
         self.min_gt_area = min_gt_area
+        # Per-frame display deadline; None = one frame interval.
+        self.deadline_budget_ms = deadline_budget_ms
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.tracer.enabled and not server.tracer.enabled:
             server.attach_tracer(self.tracer)
+        metrics = self.tracer.metrics
+        self._m_frames = metrics.counter("pipeline.frames")
+        self._m_deadline_miss = metrics.counter("pipeline.deadline_miss")
+        self._h_frame_latency = metrics.histogram("pipeline.frame_latency_ms")
         # One client+channel lane pair per device, one shared server lane.
         for index, session in enumerate(self.sessions):
             session.client_lane = f"client{index}"
@@ -159,6 +166,26 @@ class MultiClientPipeline:
                 dur_ms=latency,
                 busy_until_ms=round(session.busy_until_ms, 6),
             )
+
+        deadline_ms = (
+            self.deadline_budget_ms
+            if self.deadline_budget_ms is not None
+            else frame_interval
+        )
+        self._m_frames.inc()
+        self._h_frame_latency.observe(latency)
+        if latency > deadline_ms:
+            self._m_deadline_miss.inc()
+            if tracer.enabled:
+                tracer.event(
+                    "frame.deadline_miss",
+                    lane=session.client_lane,
+                    frame=frame_index,
+                    latency_ms=round(latency, 6),
+                    budget_ms=round(deadline_ms, 6),
+                    over_ms=round(latency - deadline_ms, 6),
+                    processed=processed,
+                )
 
         rendered = {m.instance_id: m for m in session.last_masks}
         object_ious, object_areas = {}, {}

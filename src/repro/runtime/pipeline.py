@@ -274,6 +274,7 @@ class Pipeline:
         warmup_frames: int = 45,
         min_gt_area: int = 200,
         tracer: Tracer | None = None,
+        deadline_budget_ms: float | None = None,
     ):
         self.video = video
         self.client = client
@@ -284,13 +285,25 @@ class Pipeline:
         # video-segmentation datasets do not annotate barely-visible
         # occlusion remnants either.
         self.min_gt_area = min_gt_area
+        # Per-frame display deadline; None = one frame interval (the
+        # paper's 30 fps real-time budget at the default frame rate).
+        self.deadline_budget_ms = deadline_budget_ms
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.tracer.enabled and not server.tracer.enabled:
             server.attach_tracer(self.tracer)
+        metrics = self.tracer.metrics
+        self._m_frames = metrics.counter("pipeline.frames")
+        self._m_deadline_miss = metrics.counter("pipeline.deadline_miss")
+        self._h_frame_latency = metrics.histogram("pipeline.frame_latency_ms")
         self._pending_list: list[_PendingDelivery] = []
 
     def run(self) -> RunResult:
         frame_interval = 1000.0 / self.video.fps
+        deadline_ms = (
+            self.deadline_budget_ms
+            if self.deadline_budget_ms is not None
+            else frame_interval
+        )
         client_busy_until = 0.0
         last_masks: list[InstanceMask] = []
         metrics: list[FrameMetric] = []
@@ -355,7 +368,24 @@ class Pipeline:
                     busy_until_ms=round(client_busy_until, 6),
                 )
 
-            # 3. measure what is on screen against this frame's truth.
+            # 3. deadline accounting: a displayed frame later than one
+            # budget behind capture is a first-class miss event.
+            self._m_frames.inc()
+            self._h_frame_latency.observe(latency)
+            if latency > deadline_ms:
+                self._m_deadline_miss.inc()
+                if tracer.enabled:
+                    tracer.event(
+                        "frame.deadline_miss",
+                        lane="client",
+                        frame=frame.index,
+                        latency_ms=round(latency, 6),
+                        budget_ms=round(deadline_ms, 6),
+                        over_ms=round(latency - deadline_ms, 6),
+                        processed=processed,
+                    )
+
+            # 4. measure what is on screen against this frame's truth.
             rendered = {m.instance_id: m for m in last_masks}
             object_ious = {}
             object_areas = {}

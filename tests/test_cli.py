@@ -4,7 +4,9 @@ import json
 
 import pytest
 
+from repro.eval import ExperimentSpec, run_experiment
 from repro.eval.cli import build_parser, main
+from repro.eval.reporting import SCHEMA_VERSION, result_payload, save_json
 
 
 class TestParser:
@@ -45,6 +47,29 @@ class TestRunCommand:
         assert code == 0
         payload = json.loads(out_path.read_text())
         assert payload["system"] == "edge_best_effort"
+        assert payload["schema_version"] == SCHEMA_VERSION
         assert 0.0 <= payload["mean_iou"] <= 1.0
         out = capsys.readouterr().out
         assert "mean_iou" in out
+
+
+class TestResultPayloadSchema:
+    def test_round_trips_through_json(self, tmp_path):
+        """The shared payload (used by `repro run`, `repro compare` and
+        the BENCH `result` sections) must survive save/load unchanged."""
+        result = run_experiment(
+            ExperimentSpec(
+                system="edge_best_effort",
+                dataset="davis_like",
+                num_frames=20,
+                resolution=(160, 120),
+                warmup_frames=5,
+            )
+        ).result
+        payload = result_payload(result)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        # CDF keys are strings so the payload is losslessly JSON-clean.
+        assert all(isinstance(key, str) for key in payload["iou_cdf"])
+        path = tmp_path / "payload.json"
+        save_json(path, payload)
+        assert json.loads(path.read_text()) == payload

@@ -9,6 +9,7 @@ import pytest
 from repro.eval import ExperimentSpec, run_experiment
 from repro.eval.cli import main as cli_main
 from repro.obs import (
+    FRAME_BUDGET_MS,
     NULL_METRICS,
     NULL_TRACER,
     Counter,
@@ -16,6 +17,8 @@ from repro.obs import (
     MetricsRegistry,
     Tracer,
     chrome_trace,
+    evaluate_slo,
+    exact_percentile,
     mean_frame_latency_ms,
     stage_summary,
     stage_table,
@@ -295,6 +298,233 @@ class TestMultiClientTracing:
         lanes = set(tracer.lanes())
         assert {"client0", "client1"} <= lanes
         assert "server" in lanes  # shared lane wired via attach_tracer
+
+
+class TestHistogramPercentile:
+    def test_empty_histogram(self):
+        assert Histogram("h").percentile(50.0) == 0.0
+        assert Histogram("h").percentile(99.0) == 0.0
+
+    def test_single_bucket(self):
+        hist = Histogram("h", buckets=(10.0,))
+        hist.observe(5.0)
+        assert hist.percentile(0.0) == 5.0
+        assert hist.percentile(50.0) == 5.0
+        assert hist.percentile(100.0) == 5.0
+
+    def test_values_beyond_last_bucket_clamp_to_max(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(50.0)
+        hist.observe(60.0)
+        # Both land in the implicit overflow bucket; the estimate must
+        # stay inside the recorded sample range, never inf.
+        assert 50.0 <= hist.percentile(50.0) <= 60.0
+        assert hist.percentile(99.0) <= 60.0
+
+    def test_matches_quantile(self):
+        hist = Histogram("h")
+        for value in (0.4, 1.5, 3.0, 7.0, 30.0, 400.0):
+            hist.observe(value)
+        assert hist.percentile(95.0) == hist.quantile(0.95)
+        assert hist.percentile(50.0) == hist.quantile(0.5)
+
+
+class TestExactPercentile:
+    def test_empty(self):
+        assert exact_percentile([], 50.0) == 0.0
+
+    def test_single_sample(self):
+        assert exact_percentile([7.5], 99.0) == 7.5
+
+    def test_interpolation(self):
+        samples = list(range(1, 11))  # 1..10
+        assert exact_percentile(samples, 0.0) == 1.0
+        assert exact_percentile(samples, 100.0) == 10.0
+        assert exact_percentile(samples, 50.0) == pytest.approx(5.5)
+        assert exact_percentile(samples, 90.0) == pytest.approx(9.1)
+
+    def test_order_independent(self):
+        assert exact_percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+
+class TestEmptyTracerExports:
+    def test_stage_summary_empty(self):
+        assert stage_summary(Tracer()) == {}
+
+    def test_stage_table_renders_header_only(self):
+        rendered = stage_table(Tracer(), title="empty run").render()
+        assert "empty run" in rendered
+        assert "mean ms" in rendered
+
+    def test_mean_frame_latency_zero(self):
+        assert mean_frame_latency_ms(Tracer()) == 0.0
+
+    def test_jsonl_empty(self):
+        assert to_jsonl_lines(Tracer()) == []
+
+    def test_evaluate_slo_empty(self):
+        report = evaluate_slo(Tracer())
+        assert report["frames"] == 0
+        assert report["miss_rate"] == 0.0
+        assert report["worst_streak"] == 0
+        assert report["attribution"] == {}
+
+
+def _synthetic_frames(latencies_and_stages):
+    """Build a tracer with one top-level client span per frame.
+
+    Each entry is (dur_ms, {stage: dur}) for a processed frame, or
+    (dur_ms, None) for a stale frame.
+    """
+    tracer = Tracer()
+    for index, (dur, stages) in enumerate(latencies_and_stages):
+        now = index * FRAME_BUDGET_MS
+        if stages is None:
+            tracer.add_span(
+                "client.stale_wait",
+                lane="client",
+                frame=index,
+                start_ms=now,
+                dur_ms=dur,
+            )
+            continue
+        with tracer.span(
+            "client.process", lane="client", frame=index, start_ms=now, dur_ms=dur
+        ):
+            for name, stage_dur in stages.items():
+                tracer.add_span(
+                    name, lane="client", frame=index, start_ms=now, dur_ms=stage_dur
+                )
+    return tracer
+
+
+class TestSloEvaluation:
+    def test_miss_rate_streak_and_attribution(self):
+        tracer = _synthetic_frames(
+            [
+                (10.0, {"mamt.predict": 8.0, "mamt.features": 2.0}),
+                (50.0, {"mamt.predict": 40.0, "mamt.features": 10.0}),
+                (60.0, {"mamt.predict": 45.0, "mamt.features": 15.0}),
+                (10.0, {"mamt.predict": 8.0, "mamt.features": 2.0}),
+                (40.0, {"mamt.features": 30.0, "mamt.predict": 10.0}),
+                (10.0, {"mamt.predict": 8.0, "mamt.features": 2.0}),
+                (100.0, None),  # stale frame: client never got to it
+            ]
+        )
+        report = evaluate_slo(tracer)
+        assert report["frames"] == 7
+        assert report["misses"] == 4
+        assert report["miss_rate"] == pytest.approx(4 / 7, abs=1e-6)
+        assert report["worst_streak"] == 2
+        assert report["max_over_ms"] == pytest.approx(100.0 - FRAME_BUDGET_MS, abs=1e-5)
+        assert report["attribution"] == {
+            "mamt.predict": 2,
+            "mamt.features": 1,
+            "client.stale_wait": 1,
+        }
+        assert sum(report["attribution"].values()) == report["misses"]
+
+    def test_warmup_frames_excluded(self):
+        tracer = _synthetic_frames(
+            [(100.0, None), (100.0, None), (10.0, {"mamt.predict": 10.0})]
+        )
+        report = evaluate_slo(tracer, warmup_frames=2)
+        assert report["frames"] == 1
+        assert report["misses"] == 0
+        assert report["worst_streak"] == 0
+
+    def test_all_frames_missing_is_one_long_streak(self):
+        tracer = _synthetic_frames([(50.0, None)] * 5)
+        report = evaluate_slo(tracer)
+        assert report["misses"] == 5
+        assert report["worst_streak"] == 5
+        assert report["attribution"] == {"client.stale_wait": 5}
+
+    def test_streak_resets_on_met_deadline(self):
+        tracer = _synthetic_frames(
+            [(50.0, None), (10.0, {"a": 10.0}), (50.0, None), (50.0, None)]
+        )
+        assert evaluate_slo(tracer)["worst_streak"] == 2
+
+    def test_no_misses(self):
+        tracer = _synthetic_frames([(10.0, {"a": 10.0})] * 4)
+        report = evaluate_slo(tracer)
+        assert report["misses"] == 0
+        assert report["total_over_ms"] == 0.0
+        assert report["attribution"] == {}
+
+    def test_custom_budget(self):
+        tracer = _synthetic_frames([(10.0, {"a": 10.0})] * 4)
+        assert evaluate_slo(tracer, budget_ms=5.0)["misses"] == 4
+
+    def test_processed_frame_without_stage_children_blames_itself(self):
+        tracer = Tracer()
+        tracer.add_span(
+            "client.process", lane="client", frame=0, start_ms=0.0, dur_ms=90.0
+        )
+        report = evaluate_slo(tracer)
+        assert report["attribution"] == {"client.process": 1}
+
+
+class TestPipelineDeadlineEvents:
+    def test_deadline_miss_events_and_counters(self):
+        import numpy as np
+
+        from repro.eval import build_client
+        from repro.model import SimulatedSegmentationModel
+        from repro.network import make_channel
+        from repro.runtime import EdgeServer, Pipeline
+        from repro.synthetic import make_dataset
+
+        video = make_dataset(
+            "davis_like", num_frames=30, resolution=(160, 120), seed=0
+        )
+        tracer = Tracer()
+        client = build_client("edgeis", video, seed=0, tracer=tracer)
+        server = EdgeServer(
+            SimulatedSegmentationModel(rng=np.random.default_rng(7)),
+            tracer=tracer,
+        )
+        pipeline = Pipeline(
+            video,
+            client,
+            make_channel("wifi_5ghz", np.random.default_rng(1)),
+            server,
+            warmup_frames=5,
+            tracer=tracer,
+            deadline_budget_ms=0.5,  # impossible budget: every frame misses
+        )
+        pipeline.run()
+        events = [e for e in tracer.events if e.name == "frame.deadline_miss"]
+        assert len(events) == 30
+        for event in events:
+            assert event.attrs["budget_ms"] == 0.5
+            assert event.attrs["over_ms"] > 0.0
+            assert event.attrs["latency_ms"] > 0.5
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["pipeline.deadline_miss"] == 30
+        assert counters["pipeline.frames"] == 30
+        histograms = tracer.metrics.snapshot()["histograms"]
+        assert histograms["pipeline.frame_latency_ms"]["count"] == 30
+
+    def test_default_budget_is_frame_interval(self):
+        tracer = run_experiment(
+            ExperimentSpec(
+                system="edgeis",
+                num_frames=70,
+                resolution=(160, 120),
+                trace=True,
+            )
+        ).tracer
+        events = [e for e in tracer.events if e.name == "frame.deadline_miss"]
+        # The traced run has stale frames, and a stale frame's latency is
+        # at least one frame interval over budget by construction.
+        assert events
+        interval = 1000.0 / 30.0
+        for event in events:
+            assert event.attrs["budget_ms"] == pytest.approx(interval, abs=1e-4)
+            # Miss events must agree with the recorded frame spans.
+            assert event.attrs["latency_ms"] > event.attrs["budget_ms"]
 
 
 class TestTraceCli:
