@@ -52,6 +52,9 @@ class MobileOnlyClient:
     def receive_result(self, frame_index, masks, now_ms) -> float:
         return 0.0  # never offloads
 
+    def offload_rejected(self, frame_index, now_ms) -> None:
+        pass  # never offloads, nothing in flight
+
     def memory_bytes(self) -> int:
         return 350 * 1024 * 1024  # resident model weights
 
@@ -102,6 +105,10 @@ class _TrackedOffloadClient:
         if self._last_gray is not None:
             self.tracker.reset(masks, self._last_gray)
         return self.integrate_ms
+
+    def offload_rejected(self, frame_index, now_ms) -> None:
+        # Free the slot; the tracker keeps coasting on its current state.
+        self._outstanding = max(0, self._outstanding - 1)
 
     def memory_bytes(self) -> int:
         return 80 * 1024 * 1024
@@ -159,6 +166,10 @@ class BestEffortEdgeClient:
         self._outstanding = max(0, self._outstanding - 1)
         self._masks = masks
         return self.integrate_ms
+
+    def offload_rejected(self, frame_index, now_ms) -> None:
+        # Free the slot; keep rendering the last delivered masks.
+        self._outstanding = max(0, self._outstanding - 1)
 
     def memory_bytes(self) -> int:
         return 60 * 1024 * 1024

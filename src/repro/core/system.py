@@ -96,6 +96,10 @@ class EdgeISSystem:
         self._last_masks: list[InstanceMask] = []
         self._offloads_sent = 0
         self._last_offload_frame = -(10**9)
+        # Fleet-scheduler degradation hooks (see repro.serve): while
+        # offloading is disabled the client survives on pure MAMT.
+        self._offload_enabled = True
+        self._force_keyframe = False
 
     # ------------------------------------------------------------------
     # ClientSystem protocol
@@ -168,7 +172,16 @@ class EdgeISSystem:
             if self.config.use_cfrs
             else self.config.no_cfrs_outstanding
         )
-        if self._outstanding < outstanding_budget:
+        if not self._offload_enabled:
+            if tracer.enabled:
+                tracer.event(
+                    "offload.decision",
+                    lane="client",
+                    frame=frame.index,
+                    should_send=False,
+                    reason="degraded",
+                )
+        elif self._outstanding < outstanding_budget:
             offload, encode_ms = self._maybe_offload(frame, result, masks)
             if offload is not None:
                 stage_ms = timing.cfrs_decide_ms + encode_ms
@@ -222,6 +235,34 @@ class EdgeISSystem:
         return 24 * 1024 * 1024 + self.vo.map.memory_bytes()
 
     # ------------------------------------------------------------------
+    # Fleet-scheduler capabilities (optional ClientSystem extensions)
+    # ------------------------------------------------------------------
+    def set_offload_enabled(self, enabled: bool) -> None:
+        """Degrade/recover hook: while disabled the client skips the
+        offload decision entirely and renders through MAMT alone."""
+        self._offload_enabled = enabled
+        if not enabled:
+            self._force_keyframe = False
+
+    def request_keyframe(self) -> None:
+        """One-shot: the next eligible frame is offloaded as a
+        full-quality keyframe so the edge re-anchors the instance map."""
+        self._force_keyframe = True
+
+    def offload_rejected(self, frame_index: int, now_ms: float) -> None:
+        """The scheduler rejected or shed this offload: free the
+        in-flight slot without touching trackers or the VO map."""
+        self._outstanding = max(0, self._outstanding - 1)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "offload.rejected",
+                lane="client",
+                ts_ms=now_ms,
+                frame=frame_index,
+                outstanding=self._outstanding,
+            )
+
+    # ------------------------------------------------------------------
     @property
     def offloads_sent(self) -> int:
         return self._offloads_sent
@@ -229,6 +270,27 @@ class EdgeISSystem:
     def _maybe_offload(self, frame, result, masks):
         timing = self.config.timing
         tracer = self.tracer
+        if self._force_keyframe:
+            # Post-recovery keyframe: bypass CFRS and intervals, ship the
+            # whole frame at high quality, and ask for a full edge pass.
+            self._force_keyframe = False
+            self._last_offload_frame = frame.index
+            encoded = self.selector.encode_uniform(
+                frame.index, frame.gray, TileQuality.HIGH
+            )
+            return (
+                OffloadRequest(
+                    frame_index=frame.index,
+                    payload_bytes=encoded.total_bytes,
+                    encode_ms=timing.encode_full_ms,
+                    instructions=None,
+                    use_dynamic_anchors=False,
+                    use_roi_pruning=False,
+                    encoded=encoded,
+                    reason="recover-keyframe",
+                ),
+                timing.encode_full_ms,
+            )
         unmatched = self._unmatched_pixels(frame, result)
         if self.config.use_cfrs:
             motion = {

@@ -25,6 +25,7 @@ from ..obs import (
     FRAME_BUDGET_MS,
     SUITES,
     compare_payloads,
+    evaluate_slo,
     mean_frame_latency_ms,
     render_comparison,
     run_suite,
@@ -34,8 +35,16 @@ from ..obs import (
     write_jsonl,
     write_trend_report,
 )
+from ..serve import POLICY_NAMES
 from ..synthetic.datasets import COMPLEXITY_LEVELS, DATASET_NAMES
-from .experiments import ABLATION_NAMES, SYSTEM_NAMES, ExperimentSpec, run_experiment
+from .experiments import (
+    ABLATION_NAMES,
+    SYSTEM_NAMES,
+    ExperimentSpec,
+    FleetSpec,
+    run_experiment,
+    run_fleet,
+)
 from .reporting import Table, result_payload, save_json
 
 __all__ = ["main", "TRACE_BENCHES"]
@@ -161,6 +170,86 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run a client fleet through the serving layer and report on it."""
+    spec = FleetSpec(
+        num_clients=args.clients,
+        system=args.system,
+        dataset=args.dataset,
+        network=args.network,
+        num_frames=args.frames,
+        motion_grade=args.motion,
+        server_device=args.server,
+        scheduler=not args.fifo,
+        num_servers=args.servers,
+        policy=args.policy,
+        queue_limit=args.queue_limit,
+        deadline_horizon=args.horizon,
+        degrade=not args.no_degrade,
+        warmup_frames=args.warmup,
+        seed=args.seed,
+        trace=True,
+    )
+    outcome = run_fleet(spec)
+    slo = evaluate_slo(
+        outcome.tracer, budget_ms=args.budget_ms, warmup_frames=spec.warmup_frames
+    )
+    topology = (
+        "fifo (no scheduler)"
+        if args.fifo
+        else f"{spec.policy} x{spec.num_servers} server(s)"
+    )
+    table = Table(
+        f"fleet: {spec.num_clients} x {spec.system} over {spec.network} — {topology}",
+        ["session", "mean IoU", "latency ms", "offloads", "KiB up"],
+    )
+    payloads = []
+    for index, result in enumerate(outcome.results):
+        payload = result_payload(result)
+        payloads.append(payload)
+        table.add_row(
+            index,
+            payload["mean_iou"],
+            payload["mean_latency_ms"],
+            payload["offload_count"],
+            payload["bytes_up"] / 1024.0,
+        )
+    table.print()
+
+    serve_stats = None
+    if outcome.scheduler is not None:
+        serve_stats = outcome.scheduler.stats(outcome.duration_ms)
+        degrade = serve_stats["degrade"]
+        print(
+            "serve:    submitted={submitted} admitted={admitted} "
+            "rejected(queue)={rejected_queue_full} "
+            "rejected(deadline)={rejected_infeasible} shed={shed} "
+            "completed={completed}".format(**serve_stats)
+        )
+        print(
+            f"degrade:  events={degrade['degrade_events']} "
+            f"recoveries={degrade['recover_events']} "
+            f"degraded_at_end={degrade['degraded_at_end']}"
+        )
+        for entry in serve_stats["per_server"]:
+            print(
+                f"server{entry['index']}:  completed={entry['completed']} "
+                f"shed={entry['shed']} utilization={entry.get('utilization', 0.0):.3f}"
+            )
+    print(
+        f"fleet SLO: miss_rate={slo['miss_rate']:.4f} "
+        f"p50={slo['latency_p50_ms']:.2f} ms p99={slo['latency_p99_ms']:.2f} ms "
+        f"({slo['frames']} frames, {args.budget_ms:.2f} ms budget)"
+    )
+    if args.json:
+        save_json(
+            args.json,
+            {"sessions": payloads, "serve": serve_stats, "slo": slo},
+        )
+        print(f"saved {args.json}")
+    return 0
+
+
 def _cmd_bench_run(args) -> int:
     """Run a benchmark suite and write its BENCH artifact."""
     payload = run_suite(
@@ -231,6 +320,7 @@ def _cmd_list(args) -> int:
     print("networks:  ", ", ".join(sorted(CHANNELS)))
     print("traces:    ", ", ".join(TRACE_BENCHES))
     print("suites:    ", ", ".join(sorted(SUITES)))
+    print("policies:  ", ", ".join(sorted(POLICY_NAMES)))
     return 0
 
 
@@ -290,6 +380,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally record wall-clock span times (breaks trace diffability)",
     )
     trace_parser.set_defaults(func=_cmd_trace)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run a multi-client fleet through the deadline-aware serving layer",
+    )
+    serve_parser.add_argument("--clients", type=int, default=8)
+    serve_parser.add_argument("--servers", type=int, default=1)
+    serve_parser.add_argument(
+        "--policy", default="edf", choices=sorted(POLICY_NAMES)
+    )
+    serve_parser.add_argument(
+        "--fifo",
+        action="store_true",
+        help="legacy topology: one bare FIFO server, no scheduler",
+    )
+    serve_parser.add_argument("--queue-limit", type=int, default=4)
+    serve_parser.add_argument(
+        "--horizon",
+        type=float,
+        default=12.0,
+        help="request deadline = send time + horizon x frame budget",
+    )
+    serve_parser.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="disable MAMT-fallback degradation on reject/shed",
+    )
+    serve_parser.add_argument(
+        "--system", default="baseline+mamt", choices=SYSTEM_NAMES + ABLATION_NAMES
+    )
+    serve_parser.add_argument("--warmup", type=int, default=10)
+    serve_parser.add_argument(
+        "--budget-ms",
+        type=float,
+        default=FRAME_BUDGET_MS,
+        help="per-frame deadline for SLO evaluation (default 33.33 ms = 30 fps)",
+    )
+    add_common(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve, frames=60)
 
     bench_parser = subparsers.add_parser(
         "bench",

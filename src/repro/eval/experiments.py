@@ -21,10 +21,12 @@ from ..core.config import SystemConfig
 from ..core.system import EdgeISSystem
 from ..model.costs import DEVICES, DeviceProfile
 from ..model.maskrcnn import SimulatedSegmentationModel
-from ..network.channel import make_channel
+from ..network.channel import make_channel, spawn_channel_rngs
 from ..obs.trace import NULL_TRACER, Tracer
+from ..runtime.multi import ClientSession, MultiClientPipeline
 from ..runtime.pipeline import EdgeServer, Pipeline, RunResult
 from ..runtime.resources import DEVICE_POWER, ResourceMonitor
+from ..serve import AdmissionConfig, DegradeConfig, FleetScheduler
 from ..synthetic.datasets import make_complexity_scene, make_dataset
 from ..synthetic.world import SyntheticVideo
 
@@ -32,8 +34,11 @@ __all__ = [
     "SYSTEM_NAMES",
     "ABLATION_NAMES",
     "ExperimentSpec",
+    "FleetSpec",
+    "FleetOutcome",
     "build_client",
     "run_experiment",
+    "run_fleet",
     "run_grid",
 ]
 
@@ -204,3 +209,138 @@ def _run_with_monitor(pipeline: Pipeline, monitor: ResourceMonitor, client, chan
 def run_grid(specs: list[ExperimentSpec]) -> list[ExperimentOutcome]:
     """Run a list of experiment cells sequentially."""
     return [run_experiment(spec) for spec in specs]
+
+
+# ----------------------------------------------------------------------
+# Fleet experiments: many clients against the repro.serve layer
+# ----------------------------------------------------------------------
+@dataclass
+class FleetSpec:
+    """A multi-client serving experiment (paper Section VI-G topology,
+    plus the ``repro.serve`` policy layer on top of it)."""
+
+    num_clients: int = 8
+    system: str = "baseline+mamt"
+    dataset: str = "xiph_like"
+    network: str = "wifi_5ghz"
+    num_frames: int = 60
+    resolution: tuple[int, int] = (160, 120)
+    motion_grade: str = "walk"
+    server_device: str = "jetson_tx2"
+    server_latency_scale: float = 1.0
+    # Serving-layer knobs.  ``scheduler=False`` reproduces the paper's
+    # bare deployment: one FIFO EdgeServer, no admission, no degradation.
+    scheduler: bool = True
+    num_servers: int = 1
+    policy: str = "edf"
+    queue_limit: int = 4
+    deadline_horizon: float = 12.0
+    degrade: bool = True
+    degrade_failure_threshold: int = 2
+    degrade_min_ms: float = 300.0
+    degrade_recover_depth: int = 1
+    deadline_budget_ms: float | None = None
+    warmup_frames: int = 10
+    seed: int = 0
+    trace: bool = False
+    trace_wall_clock: bool = False
+
+
+@dataclass
+class FleetOutcome:
+    spec: FleetSpec
+    results: list[RunResult]
+    sessions: list[ClientSession]
+    scheduler: FleetScheduler | None = None
+    tracer: Tracer | None = None
+    duration_ms: float = 0.0
+
+
+def run_fleet(spec: FleetSpec) -> FleetOutcome:
+    """Run ``num_clients`` sessions against the serving layer (or the
+    legacy bare FIFO server when ``spec.scheduler`` is False)."""
+    if spec.num_clients < 1:
+        raise ValueError("FleetSpec.num_clients must be >= 1")
+    if not spec.scheduler and spec.num_servers != 1:
+        raise ValueError(
+            "the legacy FIFO topology has exactly one server; "
+            "set scheduler=True to use num_servers > 1"
+        )
+    tracer = Tracer(wall_clock=spec.trace_wall_clock) if spec.trace else NULL_TRACER
+
+    # One deterministic scene + client per device; independent channel
+    # jitter streams spawned from the single experiment seed.
+    channel_rngs = spawn_channel_rngs(spec.seed, spec.num_clients)
+    sessions = []
+    for index in range(spec.num_clients):
+        video = make_dataset(
+            spec.dataset,
+            num_frames=spec.num_frames,
+            resolution=spec.resolution,
+            motion_grade=spec.motion_grade,
+            seed=spec.seed + index,
+        )
+        client = build_client(
+            spec.system, video, seed=spec.seed + index, tracer=tracer
+        )
+        channel = make_channel(spec.network, channel_rngs[index])
+        sessions.append(ClientSession(video=video, client=client, channel=channel))
+
+    device = DEVICES[spec.server_device]
+    if spec.server_latency_scale != 1.0:
+        device = DeviceProfile(
+            f"{device.name}-x{spec.server_latency_scale:g}",
+            device.speed / spec.server_latency_scale,
+        )
+    servers = [
+        EdgeServer(
+            SimulatedSegmentationModel(
+                "mask_rcnn_r101",
+                device,
+                np.random.default_rng(spec.seed + 29 + index),
+                metrics=tracer.metrics,
+            ),
+            tracer=tracer,
+        )
+        for index in range(spec.num_servers)
+    ]
+
+    scheduler = None
+    if spec.scheduler:
+        scheduler = FleetScheduler(
+            servers,
+            policy=spec.policy,
+            admission=AdmissionConfig(
+                queue_limit=spec.queue_limit,
+                deadline_horizon=spec.deadline_horizon,
+            ),
+            degrade=DegradeConfig(
+                enabled=spec.degrade,
+                failure_threshold=spec.degrade_failure_threshold,
+                min_degraded_ms=spec.degrade_min_ms,
+                recover_depth=spec.degrade_recover_depth,
+            ),
+            num_sessions=spec.num_clients,
+            tracer=tracer,
+        )
+        backend = scheduler
+    else:
+        backend = servers[0]
+
+    pipeline = MultiClientPipeline(
+        sessions,
+        backend,
+        warmup_frames=spec.warmup_frames,
+        tracer=tracer,
+        deadline_budget_ms=spec.deadline_budget_ms,
+    )
+    results = pipeline.run()
+    duration = spec.num_frames * (1000.0 / sessions[0].video.fps)
+    return FleetOutcome(
+        spec=spec,
+        results=results,
+        sessions=sessions,
+        scheduler=scheduler,
+        tracer=tracer if spec.trace else None,
+        duration_ms=duration,
+    )

@@ -1,5 +1,17 @@
 """Wireless channel models (WiFi 2.4/5 GHz, LTE)."""
 
-from .channel import CHANNELS, Channel, ChannelProfile, make_channel
+from .channel import (
+    CHANNELS,
+    Channel,
+    ChannelProfile,
+    make_channel,
+    spawn_channel_rngs,
+)
 
-__all__ = ["CHANNELS", "Channel", "ChannelProfile", "make_channel"]
+__all__ = [
+    "CHANNELS",
+    "Channel",
+    "ChannelProfile",
+    "make_channel",
+    "spawn_channel_rngs",
+]

@@ -14,7 +14,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ChannelProfile", "Channel", "CHANNELS", "make_channel"]
+__all__ = [
+    "ChannelProfile",
+    "Channel",
+    "CHANNELS",
+    "make_channel",
+    "spawn_channel_rngs",
+]
 
 
 @dataclass(frozen=True)
@@ -74,3 +80,21 @@ def make_channel(name: str, rng: np.random.Generator | None = None) -> Channel:
     if profile is None:
         raise ValueError(f"unknown channel {name!r}; pick from {sorted(CHANNELS)}")
     return Channel(profile, rng)
+
+
+def spawn_channel_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent channel RNG streams from one seed.
+
+    Multi-session experiments must not hand every :class:`Channel` the
+    default ``default_rng(0)`` stream (identical jitter draws across
+    devices would correlate the fleet's latency spikes), nor ad-hoc
+    ``seed + i`` offsets that can collide with other consumers of the
+    experiment seed.  ``SeedSequence.spawn`` gives statistically
+    independent, deterministic child streams.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [
+        np.random.default_rng(child)
+        for child in np.random.SeedSequence(seed).spawn(count)
+    ]

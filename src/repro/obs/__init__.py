@@ -28,6 +28,7 @@ from .slo import FRAME_BUDGET_MS, evaluate_slo, exact_percentile, frame_latency_
 from .bench import (
     SUITES,
     BenchScenario,
+    FleetBenchScenario,
     bench_filename,
     dump_bench,
     run_scenario,
@@ -69,6 +70,7 @@ __all__ = [
     "frame_latency_spans",
     "SUITES",
     "BenchScenario",
+    "FleetBenchScenario",
     "bench_filename",
     "dump_bench",
     "run_scenario",

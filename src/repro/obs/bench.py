@@ -41,6 +41,7 @@ from .trace import Tracer
 
 __all__ = [
     "BenchScenario",
+    "FleetBenchScenario",
     "SUITES",
     "environment_fingerprint",
     "stage_percentiles",
@@ -68,9 +69,33 @@ class BenchScenario:
     server_device: str = "jetson_tx2"
 
 
+@dataclass(frozen=True)
+class FleetBenchScenario(BenchScenario):
+    """A multi-client serving cell (run through ``repro.serve``).
+
+    Subclasses :class:`BenchScenario` so fleet cells slot into the same
+    suites/artifacts; the extra fields configure the fleet topology and
+    the scheduler.  ``scheduler=False`` reproduces the paper's bare
+    deployment — one FIFO server, no admission control — which is the
+    regression baseline the deadline-aware cells are gated against.
+    """
+
+    num_clients: int = 8
+    num_servers: int = 1
+    scheduler: bool = True
+    policy: str = "edf"
+    queue_limit: int = 4
+    deadline_horizon: float = 12.0
+    degrade_enabled: bool = True
+    degrade_failure_threshold: int = 2
+    degrade_min_ms: float = 300.0
+
+
 # Suite sizing: ``micro`` is one small cell for unit tests and quick local
 # sanity runs; ``smoke`` is the CI perf gate (two networks, ~30 s total);
-# ``full`` mirrors the paper-figure trace scenarios.
+# ``full`` mirrors the paper-figure trace scenarios; ``fleet`` is the
+# 8-client saturation study for the serving layer (FIFO baseline vs
+# deadline-aware policies — see docs/serving.md).
 SUITES: dict[str, tuple[BenchScenario, ...]] = {
     "micro": (
         BenchScenario(
@@ -94,6 +119,39 @@ SUITES: dict[str, tuple[BenchScenario, ...]] = {
         BenchScenario("fig10-wifi24", network="wifi_2.4ghz"),
         BenchScenario("fig10-lte", network="lte"),
         BenchScenario("fig12-jog", dataset="kitti_like", motion="jog"),
+    ),
+    "fleet": (
+        # The paper's deployment: 8 clients, one FIFO server, no policy.
+        FleetBenchScenario(
+            "fifo-1srv",
+            system="baseline+mamt",
+            frames=60,
+            resolution=(160, 120),
+            warmup_frames=10,
+            scheduler=False,
+        ),
+        # Deadline-aware EDF with bounded queues + MAMT-fallback degrade:
+        # must beat fifo-1srv on frame-deadline miss rate.
+        FleetBenchScenario(
+            "edf-1srv-degrade",
+            system="baseline+mamt",
+            frames=60,
+            resolution=(160, 120),
+            warmup_frames=10,
+            policy="edf",
+            queue_limit=6,
+            deadline_horizon=36.0,
+        ),
+        # Horizontal scaling: two replicas behind least-queue placement.
+        FleetBenchScenario(
+            "lq-2srv",
+            system="baseline+mamt",
+            frames=60,
+            resolution=(160, 120),
+            warmup_frames=10,
+            policy="least_queue",
+            num_servers=2,
+        ),
     ),
 }
 
@@ -153,6 +211,9 @@ def run_scenario(
     from ..eval.experiments import ExperimentSpec, run_experiment
     from ..eval.reporting import result_payload
 
+    if isinstance(scenario, FleetBenchScenario):
+        return _run_fleet_scenario(scenario, degrade, budget_ms)
+
     spec = ExperimentSpec(
         system=scenario.system,
         dataset=scenario.dataset,
@@ -194,6 +255,119 @@ def run_scenario(
             "counters": dict(sorted(counters.items())),
         },
     }
+
+
+def _run_fleet_scenario(
+    scenario: FleetBenchScenario,
+    degrade: float = 1.0,
+    budget_ms: float = FRAME_BUDGET_MS,
+) -> dict:
+    """Run one fleet cell and fold it into the BENCH scenario payload.
+
+    The ``result`` section keeps the single-run key names (so the same
+    compare policies gate it): quality/latency keys are means over the
+    fleet's sessions, byte/offload counters are fleet totals, and
+    ``server_utilization`` is normalized by the number of replicas.  The
+    extra ``serve`` section carries the scheduler's admit/shed/degrade
+    accounting (informational — not gated).
+    """
+    from ..eval.experiments import FleetSpec, run_fleet
+
+    spec = FleetSpec(
+        num_clients=scenario.num_clients,
+        system=scenario.system,
+        dataset=scenario.dataset,
+        network=scenario.network,
+        num_frames=scenario.frames,
+        resolution=scenario.resolution,
+        motion_grade=scenario.motion,
+        server_device=scenario.server_device,
+        server_latency_scale=degrade,
+        scheduler=scenario.scheduler,
+        num_servers=scenario.num_servers,
+        policy=scenario.policy,
+        queue_limit=scenario.queue_limit,
+        deadline_horizon=scenario.deadline_horizon,
+        degrade=scenario.degrade_enabled,
+        degrade_failure_threshold=scenario.degrade_failure_threshold,
+        degrade_min_ms=scenario.degrade_min_ms,
+        warmup_frames=scenario.warmup_frames,
+        seed=scenario.seed,
+        trace=True,
+    )
+    outcome = run_fleet(spec)
+    tracer = outcome.tracer
+    results = outcome.results
+    counters = tracer.metrics.snapshot()["counters"]
+    count = len(results)
+    offload_count = sum(r.offload_count for r in results)
+    bytes_up = sum(r.bytes_up for r in results)
+    bytes_down = sum(r.bytes_down for r in results)
+    busy_ms = results[0].server_busy_ms if results else 0.0
+    duration = outcome.duration_ms
+    if scenario.scheduler:
+        serve = {"scheduler": True, **outcome.scheduler.stats(duration)}
+    else:
+        serve = {"scheduler": False, "policy": "fifo", "num_servers": 1}
+    return {
+        "spec": {
+            "system": scenario.system,
+            "dataset": scenario.dataset,
+            "network": scenario.network,
+            "motion": scenario.motion,
+            "frames": scenario.frames,
+            "resolution": list(scenario.resolution),
+            "warmup_frames": scenario.warmup_frames,
+            "seed": scenario.seed,
+            "server_device": scenario.server_device,
+            "degrade": degrade,
+            "num_clients": scenario.num_clients,
+            "num_servers": scenario.num_servers,
+            "scheduler": scenario.scheduler,
+            "policy": scenario.policy if scenario.scheduler else "fifo",
+            "queue_limit": scenario.queue_limit,
+            "deadline_horizon": scenario.deadline_horizon,
+            "degrade_enabled": scenario.degrade_enabled,
+        },
+        "result": {
+            "schema_version": _result_schema_version(),
+            "system": results[0].system,
+            "num_clients": count,
+            "mean_iou": float(sum(r.mean_iou() for r in results) / count),
+            "false_rate_75": float(
+                sum(r.false_rate(0.75) for r in results) / count
+            ),
+            "false_rate_50": float(
+                sum(r.false_rate(0.5) for r in results) / count
+            ),
+            "mean_latency_ms": float(
+                sum(r.mean_latency_ms() for r in results) / count
+            ),
+            "offload_count": int(offload_count),
+            "bytes_up": int(bytes_up),
+            "bytes_down": int(bytes_down),
+            "server_utilization": float(
+                busy_ms / (duration * scenario.num_servers) if duration else 0.0
+            ),
+        },
+        "stages": stage_percentiles(tracer),
+        "slo": evaluate_slo(
+            tracer, budget_ms=budget_ms, warmup_frames=scenario.warmup_frames
+        ),
+        "offload": {
+            "offload_count": int(offload_count),
+            "bytes_up": int(bytes_up),
+            "bytes_down": int(bytes_down),
+            "counters": dict(sorted(counters.items())),
+        },
+        "serve": serve,
+    }
+
+
+def _result_schema_version() -> int:
+    from ..eval.reporting import SCHEMA_VERSION
+
+    return SCHEMA_VERSION
 
 
 def run_suite(

@@ -73,3 +73,9 @@ class ClientSystem(Protocol):
     def memory_bytes(self) -> int:
         """Approximate live client memory (for the resource study)."""
         ...
+
+    def offload_rejected(self, frame_index: int, now_ms: float) -> None:
+        """The serving layer dropped this offload (admission reject or
+        deadline shed) — release any in-flight accounting and carry on
+        rendering from local state.  No result will arrive."""
+        ...

@@ -1,11 +1,20 @@
-"""Multi-client pipeline: several devices sharing one edge server.
+"""Multi-client pipeline: several devices sharing edge inference.
 
 The paper's field deployment connects *eight* mobile devices to a single
 Jetson AGX Xavier (Section VI-G).  :class:`MultiClientPipeline` interleaves
-any number of (video, client, channel) sessions against one
-:class:`~repro.runtime.pipeline.EdgeServer`, whose single-inference-at-a-
-time queue then serializes the whole fleet's offloads — reproducing the
-contention that separates a shared deployment from per-device lab runs.
+any number of (video, client, channel) sessions against either
+
+* one bare :class:`~repro.runtime.pipeline.EdgeServer` — the paper's
+  deployment topology: a single-inference-at-a-time FIFO queue, unbounded
+  and deadline-blind; or
+* a :class:`~repro.serve.scheduler.FleetScheduler` — the ``repro.serve``
+  policy layer: N server replicas, pluggable placement, bounded
+  deadline-checked admission, shedding, and MAMT-fallback degradation
+  (see ``docs/serving.md``).
+
+Either way the pipeline owns the frame clock and the channels; the
+scheduler path routes every offload through admission and hands back
+completions/sheds at each tick.
 """
 
 from __future__ import annotations
@@ -48,12 +57,12 @@ class ClientSession:
 
 
 class MultiClientPipeline:
-    """Drive N clients frame-locked against one shared edge server."""
+    """Drive N clients frame-locked against shared edge inference."""
 
     def __init__(
         self,
         sessions: list[ClientSession],
-        server: EdgeServer,
+        server,
         warmup_frames: int = 45,
         min_gt_area: int = 200,
         tracer: Tracer | None = None,
@@ -64,15 +73,27 @@ class MultiClientPipeline:
         lengths = {len(s.video) for s in sessions}
         if len(lengths) != 1:
             raise ValueError("all session videos must have the same length")
+        rates = {s.video.fps for s in sessions}
+        if len(rates) != 1:
+            raise ValueError(
+                "all session videos must share the same fps; got "
+                f"{sorted(rates)} — the frame clock is fleet-wide, so a "
+                "mixed-fps fleet would mis-time every session but the first"
+            )
         self.sessions = sessions
-        self.server = server
+        # ``server`` is either a bare EdgeServer (legacy FIFO topology)
+        # or a repro.serve FleetScheduler (duck-typed: anything with
+        # submit/advance/stats is treated as a scheduler).
+        self.scheduler = server if hasattr(server, "advance") else None
+        self.server = None if self.scheduler is not None else server
         self.warmup_frames = warmup_frames
         self.min_gt_area = min_gt_area
         # Per-frame display deadline; None = one frame interval.
         self.deadline_budget_ms = deadline_budget_ms
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        if self.tracer.enabled and not server.tracer.enabled:
-            server.attach_tracer(self.tracer)
+        backend = self.scheduler if self.scheduler is not None else self.server
+        if self.tracer.enabled and not backend.tracer.enabled:
+            backend.attach_tracer(self.tracer)
         metrics = self.tracer.metrics
         self._m_frames = metrics.counter("pipeline.frames")
         self._m_deadline_miss = metrics.counter("pipeline.deadline_miss")
@@ -81,17 +102,29 @@ class MultiClientPipeline:
         for index, session in enumerate(self.sessions):
             session.client_lane = f"client{index}"
             session.channel_lane = f"channel{index}"
+        # Last offload-mode pushed to each client (scheduler path only).
+        self._offload_enabled = [True] * len(self.sessions)
+        self._frame_interval = 1000.0 / self.sessions[0].video.fps
+
+    @property
+    def _server_busy_ms(self) -> float:
+        if self.scheduler is not None:
+            return self.scheduler.busy_ms_total
+        return self.server.busy_ms_total
 
     def run(self) -> list[RunResult]:
         num_frames = len(self.sessions[0].video)
-        fps = self.sessions[0].video.fps
-        frame_interval = 1000.0 / fps
+        frame_interval = self._frame_interval
 
         for frame_index in range(num_frames):
             now = frame_index * frame_interval
             self.tracer.set_now(now)
-            for session in self.sessions:
-                self._step_session(session, frame_index, now, frame_interval)
+            if self.scheduler is not None:
+                self._service_scheduler(now)
+            for session_index, session in enumerate(self.sessions):
+                self._step_session(
+                    session, session_index, frame_index, now, frame_interval
+                )
 
         duration = num_frames * frame_interval
         return [
@@ -102,14 +135,71 @@ class MultiClientPipeline:
                 offload_count=session.offload_count,
                 bytes_up=session.channel.bytes_up,
                 bytes_down=session.channel.bytes_down,
-                server_busy_ms=self.server.busy_ms_total,
+                server_busy_ms=self._server_busy_ms,
                 duration_ms=duration,
             )
             for session in self.sessions
         ]
 
     # ------------------------------------------------------------------
-    def _step_session(self, session, frame_index, now, frame_interval) -> None:
+    # Scheduler plumbing
+    # ------------------------------------------------------------------
+    def _service_scheduler(self, now: float) -> None:
+        """Drain the fleet scheduler and apply its verdicts: deliver
+        completions through each session's downlink, notify clients of
+        sheds, and push degrade/recover mode flips to the clients."""
+        tracer = self.tracer
+        for outcome in self.scheduler.advance(now):
+            session = self.sessions[outcome.item.session_index]
+            if outcome.kind == "shed":
+                self._notify_offload_failed(
+                    session, outcome.item.frame_index, now
+                )
+                continue
+            result_bytes = encoded_size_bytes(outcome.masks) + RESULT_HEADER_BYTES
+            downlink = session.channel.downlink_ms(result_bytes)
+            if tracer.enabled:
+                tracer.add_span(
+                    "channel.downlink",
+                    lane=session.channel_lane,
+                    frame=outcome.item.frame_index,
+                    start_ms=outcome.completion_ms,
+                    dur_ms=downlink,
+                    payload_bytes=int(result_bytes),
+                    num_masks=len(outcome.masks),
+                    server=outcome.server_index,
+                )
+            session.pending.append(
+                _PendingDelivery(
+                    arrive_ms=outcome.completion_ms + downlink,
+                    frame_index=outcome.item.frame_index,
+                    masks=outcome.masks,
+                )
+            )
+
+        for index, session in enumerate(self.sessions):
+            enabled = not self.scheduler.is_degraded(index)
+            if enabled != self._offload_enabled[index]:
+                self._offload_enabled[index] = enabled
+                setter = getattr(session.client, "set_offload_enabled", None)
+                if setter is not None:
+                    setter(enabled)
+            if enabled and self.scheduler.take_keyframe_request(index):
+                keyframe = getattr(session.client, "request_keyframe", None)
+                if keyframe is not None:
+                    keyframe()
+
+    def _notify_offload_failed(self, session, frame_index: int, now: float) -> None:
+        """Tell a client its offload died (rejected or shed) so it frees
+        the in-flight slot and keeps rendering through MAMT."""
+        rejected = getattr(session.client, "offload_rejected", None)
+        if rejected is not None:
+            rejected(frame_index, now)
+
+    # ------------------------------------------------------------------
+    def _step_session(
+        self, session, session_index, frame_index, now, frame_interval
+    ) -> None:
         frame, truth = session.video.frame_at(frame_index)
         tracer = self.tracer
 
@@ -154,7 +244,13 @@ class MultiClientPipeline:
             if output.offload is not None:
                 offloaded = True
                 session.offload_count += 1
-                self._dispatch(session, output.offload, now + output.compute_ms)
+                self._dispatch(
+                    session,
+                    session_index,
+                    output.offload,
+                    now + output.compute_ms,
+                    now,
+                )
         else:
             latency = (session.busy_until_ms - now) + frame_interval
             processed = False
@@ -209,7 +305,7 @@ class MultiClientPipeline:
             )
         )
 
-    def _dispatch(self, session, request, send_time_ms) -> None:
+    def _dispatch(self, session, session_index, request, send_time_ms, now) -> None:
         frame, truth = session.video.frame_at(request.frame_index)
         tracer = self.tracer
         if tracer.enabled:
@@ -224,6 +320,11 @@ class MultiClientPipeline:
             )
         uplink = session.channel.uplink_ms(request.payload_bytes)
         arrive = send_time_ms + request.encode_ms + uplink
+
+        if self.scheduler is not None:
+            backend_free = self.scheduler.is_free_at(arrive)
+        else:
+            backend_free = self.server.is_free_at(arrive)
         if tracer.enabled:
             tracer.add_span(
                 "channel.uplink",
@@ -232,8 +333,29 @@ class MultiClientPipeline:
                 start_ms=send_time_ms + request.encode_ms,
                 dur_ms=uplink,
                 payload_bytes=int(request.payload_bytes),
-                server_free_on_arrival=self.server.is_free_at(arrive),
+                server_free_on_arrival=backend_free,
             )
+
+        if self.scheduler is not None:
+            budget_ms = (
+                self.deadline_budget_ms
+                if self.deadline_budget_ms is not None
+                else self._frame_interval
+            )
+            admitted, _status = self.scheduler.submit(
+                session_index,
+                request,
+                truth.masks,
+                frame.shape,
+                send_time_ms,
+                arrive,
+                budget_ms,
+                now,
+            )
+            if not admitted:
+                self._notify_offload_failed(session, request.frame_index, now)
+            return
+
         completion, detections = self.server.submit(
             request, truth.masks, frame.shape, arrive
         )

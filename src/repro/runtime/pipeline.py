@@ -156,6 +156,8 @@ class EdgeServer:
         self._rng = rng or np.random.default_rng(7)
         self.free_at_ms = 0.0
         self.busy_ms_total = 0.0
+        # Trace lane; a ServerPool renames its replicas server0..serverN.
+        self.lane = "server"
         self.attach_tracer(tracer if tracer is not None else NULL_TRACER)
 
     def attach_tracer(self, tracer: Tracer) -> None:
@@ -181,13 +183,13 @@ class EdgeServer:
             if 0.0 < self.free_at_ms < arrive_ms:
                 tracer.add_span(
                     "server.idle",
-                    lane="server",
+                    lane=self.lane,
                     start_ms=self.free_at_ms,
                     dur_ms=arrive_ms - self.free_at_ms,
                 )
             tracer.event(
                 "server.queue_enter",
-                lane="server",
+                lane=self.lane,
                 ts_ms=arrive_ms,
                 frame=request.frame_index,
                 was_free=self.is_free_at(arrive_ms),
@@ -229,7 +231,7 @@ class EdgeServer:
         if tracer.enabled:
             tracer.event(
                 "server.queue_exit",
-                lane="server",
+                lane=self.lane,
                 ts_ms=start,
                 frame=request.frame_index,
                 queue_wait_ms=round(start - arrive_ms, 6),
@@ -248,7 +250,7 @@ class EdgeServer:
                 attrs["rois_pruned_nms"] = result.pruning.num_pruned_nms
             tracer.add_span(
                 "server.infer",
-                lane="server",
+                lane=self.lane,
                 frame=request.frame_index,
                 start_ms=start,
                 dur_ms=result.total_ms,

@@ -1,0 +1,54 @@
+"""Deadline-aware edge fleet serving: server pool, scheduling policies,
+admission control and MAMT-fallback degradation.
+
+See ``docs/serving.md`` for the policy semantics, the degrade/recover
+state machine and the ``serve.*`` observability surface.
+"""
+
+from .admission import (
+    ADMIT,
+    REJECT_INFEASIBLE,
+    REJECT_QUEUE_FULL,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+)
+from .degrade import DegradeConfig, DegradeManager, SessionHealth
+from .policy import (
+    POLICY_NAMES,
+    EarliestDeadlineFirstPolicy,
+    LeastQueuePolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
+from .scheduler import (
+    FleetScheduler,
+    ServeItem,
+    ServeOutcome,
+    ServerPool,
+    ServerReplica,
+)
+
+__all__ = [
+    "ADMIT",
+    "REJECT_INFEASIBLE",
+    "REJECT_QUEUE_FULL",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "DegradeConfig",
+    "DegradeManager",
+    "SessionHealth",
+    "POLICY_NAMES",
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "LeastQueuePolicy",
+    "EarliestDeadlineFirstPolicy",
+    "make_policy",
+    "FleetScheduler",
+    "ServeItem",
+    "ServeOutcome",
+    "ServerPool",
+    "ServerReplica",
+]

@@ -1,0 +1,426 @@
+"""`repro.serve` — deadline-aware scheduling for a fleet of edge servers.
+
+The bare shared deployment (:class:`~repro.runtime.multi.MultiClientPipeline`
+over one :class:`~repro.runtime.pipeline.EdgeServer`) is FIFO, unbounded
+and deadline-blind.  This module adds the policy layer between clients
+and inference:
+
+* :class:`ServerPool` — N ``EdgeServer`` replicas behind a pluggable
+  placement policy (:mod:`repro.serve.policy`), each with its own
+  bounded wait queue drained in the policy's service order;
+* :class:`FleetScheduler` — the fleet control loop: admission control
+  (:mod:`repro.serve.admission`), deadline shedding, and MAMT-fallback
+  degradation (:mod:`repro.serve.degrade`), emitting first-class
+  ``serve.admit/reject/shed/degrade/recover`` trace events and
+  ``serve.*`` counters/gauges through :mod:`repro.obs`.
+
+The scheduler runs on the pipeline's simulated clock.  Queues drain at
+frame ticks: a pick is committed only once the simulated pick time is in
+the past, so requests dispatched later in the run can never retroactively
+jump a queue — two identical runs produce byte-identical schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..image.masks import InstanceMask
+from ..obs.trace import NULL_TRACER, Tracer
+from ..runtime.interface import OffloadRequest
+from ..runtime.pipeline import EdgeServer
+from .admission import (
+    ADMIT,
+    REJECT_QUEUE_FULL,
+    AdmissionConfig,
+    AdmissionController,
+)
+from .degrade import DegradeConfig, DegradeManager
+from .policy import SchedulingPolicy, make_policy
+
+__all__ = ["ServeItem", "ServeOutcome", "ServerReplica", "ServerPool", "FleetScheduler"]
+
+
+@dataclass
+class ServeItem:
+    """One offload request travelling through the scheduler."""
+
+    seq: int
+    session_index: int
+    request: OffloadRequest
+    truth_masks: list[InstanceMask]
+    image_shape: tuple[int, int]
+    send_ms: float  # client finished encoding
+    arrive_ms: float  # after the uplink
+    deadline_ms: float
+
+    @property
+    def frame_index(self) -> int:
+        return self.request.frame_index
+
+
+@dataclass
+class ServeOutcome:
+    """What the scheduler hands back to the pipeline for one item."""
+
+    kind: str  # "complete" | "shed"
+    item: ServeItem
+    masks: list[InstanceMask] = field(default_factory=list)
+    completion_ms: float = 0.0
+    server_index: int = -1
+
+
+class ServerReplica:
+    """One ``EdgeServer`` plus its wait queue and latency estimate."""
+
+    def __init__(self, index: int, server: EdgeServer, est_infer_ms: float):
+        self.index = index
+        self.server = server
+        self.queue: list[ServeItem] = []
+        self.est_infer_ms = est_infer_ms
+        self.completed = 0
+        self.shed = 0
+
+    def backlog_ms(self, now_ms: float) -> float:
+        """Estimated work between now and this replica going idle."""
+        residual = max(0.0, self.server.free_at_ms - now_ms)
+        return residual + self.est_infer_ms * len(self.queue)
+
+    def observe_infer(self, infer_ms: float, alpha: float) -> None:
+        self.est_infer_ms = (1.0 - alpha) * self.est_infer_ms + alpha * infer_ms
+
+
+class ServerPool:
+    """N edge-server replicas behind one placement policy."""
+
+    def __init__(
+        self,
+        servers: list[EdgeServer],
+        policy: SchedulingPolicy | str = "edf",
+        est_infer_prior_ms: float = 350.0,
+    ):
+        if not servers:
+            raise ValueError("ServerPool needs at least one EdgeServer")
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.replicas = [
+            ServerReplica(index, server, est_infer_prior_ms)
+            for index, server in enumerate(servers)
+        ]
+        for replica in self.replicas:
+            replica.server.lane = f"server{replica.index}"
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def choose(self, item: ServeItem, now_ms: float) -> ServerReplica:
+        return self.policy.choose(item, self.replicas, now_ms)
+
+    def queue_depth(self) -> int:
+        return sum(len(replica.queue) for replica in self.replicas)
+
+    @property
+    def busy_ms_total(self) -> float:
+        return sum(replica.server.busy_ms_total for replica in self.replicas)
+
+    def is_free_at(self, now_ms: float) -> bool:
+        return any(
+            replica.server.is_free_at(now_ms) and not replica.queue
+            for replica in self.replicas
+        )
+
+
+class FleetScheduler:
+    """Admission control + deadline scheduling + MAMT-fallback degrade."""
+
+    def __init__(
+        self,
+        servers: list[EdgeServer],
+        policy: SchedulingPolicy | str = "edf",
+        admission: AdmissionConfig | None = None,
+        degrade: DegradeConfig | None = None,
+        num_sessions: int = 0,
+        tracer: Tracer | None = None,
+    ):
+        self.admission = AdmissionController(admission)
+        self.pool = ServerPool(
+            servers, policy, self.admission.config.est_infer_prior_ms
+        )
+        self.degrade_config = degrade or DegradeConfig()
+        self.degrade = DegradeManager(num_sessions, self.degrade_config)
+        self._next_seq = 0
+        # Plain-int mirrors of the serve.* counters, kept so ``stats()``
+        # reports real totals even when no tracer/registry is attached.
+        self.counts = {
+            "submitted": 0,
+            "admitted": 0,
+            "rejected_queue_full": 0,
+            "rejected_infeasible": 0,
+            "shed": 0,
+            "completed": 0,
+        }
+        self.attach_tracer(tracer if tracer is not None else NULL_TRACER)
+
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """(Re)bind a tracer to the scheduler and every replica."""
+        self.tracer = tracer
+        for replica in self.pool.replicas:
+            replica.server.attach_tracer(tracer)
+        metrics = tracer.metrics
+        self._m_submitted = metrics.counter("serve.submitted")
+        self._m_admit = metrics.counter("serve.admit")
+        self._m_reject_queue = metrics.counter("serve.reject_queue_full")
+        self._m_reject_deadline = metrics.counter("serve.reject_infeasible")
+        self._m_shed = metrics.counter("serve.shed")
+        self._m_complete = metrics.counter("serve.complete")
+        self._m_degrade = metrics.counter("serve.degrade")
+        self._m_recover = metrics.counter("serve.recover")
+        self._g_queue_depth = metrics.gauge("serve.queue_depth")
+        self._g_shed_rate = metrics.gauge("serve.shed_rate")
+        self._g_utilization = [
+            metrics.gauge(f"serve.server{replica.index}.utilization")
+            for replica in self.pool.replicas
+        ]
+
+    # ------------------------------------------------------------------
+    # Facade used by the pipeline
+    # ------------------------------------------------------------------
+    @property
+    def busy_ms_total(self) -> float:
+        return self.pool.busy_ms_total
+
+    def is_free_at(self, now_ms: float) -> bool:
+        return self.pool.is_free_at(now_ms)
+
+    def is_degraded(self, session_index: int) -> bool:
+        return self.degrade.is_degraded(session_index)
+
+    def take_keyframe_request(self, session_index: int) -> bool:
+        return self.degrade.take_keyframe_request(session_index)
+
+    def deadline_for(self, send_ms: float, budget_ms: float) -> float:
+        return self.admission.deadline_for(send_ms, budget_ms)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        session_index: int,
+        request: OffloadRequest,
+        truth_masks: list[InstanceMask],
+        image_shape: tuple[int, int],
+        send_ms: float,
+        arrive_ms: float,
+        budget_ms: float,
+        now_ms: float,
+    ) -> tuple[bool, str]:
+        """Admission-check one offload.  Returns ``(admitted, status)``;
+        a rejected request never reaches a server and the client should
+        be told immediately so it can keep rendering through MAMT."""
+        item = ServeItem(
+            seq=self._next_seq,
+            session_index=session_index,
+            request=request,
+            truth_masks=truth_masks,
+            image_shape=image_shape,
+            send_ms=send_ms,
+            arrive_ms=arrive_ms,
+            deadline_ms=self.deadline_for(send_ms, budget_ms),
+        )
+        self._next_seq += 1
+        self.counts["submitted"] += 1
+        self._m_submitted.inc()
+
+        replica = self.pool.choose(item, now_ms)
+        decision = self.admission.check(item, replica, now_ms)
+        if decision.admitted:
+            replica.queue.append(item)
+            self.counts["admitted"] += 1
+            self._m_admit.inc()
+            self.degrade.on_success(session_index)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "serve.admit",
+                    lane="serve",
+                    ts_ms=arrive_ms,
+                    frame=item.frame_index,
+                    session=session_index,
+                    server=replica.index,
+                    deadline_ms=round(item.deadline_ms, 6),
+                    est_completion_ms=round(decision.est_completion_ms, 6),
+                    queue_depth=len(replica.queue),
+                )
+            return True, ADMIT
+
+        if decision.status == REJECT_QUEUE_FULL:
+            self.counts["rejected_queue_full"] += 1
+            self._m_reject_queue.inc()
+        else:
+            self.counts["rejected_infeasible"] += 1
+            self._m_reject_deadline.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "serve.reject",
+                lane="serve",
+                ts_ms=arrive_ms,
+                frame=item.frame_index,
+                session=session_index,
+                server=replica.index,
+                reason=decision.status,
+                deadline_ms=round(item.deadline_ms, 6),
+                est_completion_ms=round(decision.est_completion_ms, 6),
+            )
+        self._note_failure(session_index, now_ms)
+        return False, decision.status
+
+    # ------------------------------------------------------------------
+    def advance(self, now_ms: float) -> list[ServeOutcome]:
+        """Drain replica queues up to the simulated instant ``now_ms``.
+
+        Returns completions (with detections and completion times — the
+        pipeline adds the per-session downlink) and sheds (the pipeline
+        notifies the owning client).  Also runs the staggered
+        degrade-recovery check against the post-drain queue depth.
+        """
+        outcomes: list[ServeOutcome] = []
+        for replica in self.pool.replicas:
+            self._drain_replica(replica, now_ms, outcomes)
+
+        depth = self.pool.queue_depth()
+        self._g_queue_depth.set(depth)
+        if self.counts["submitted"]:
+            self._g_shed_rate.set(self.counts["shed"] / self.counts["submitted"])
+        if now_ms > 0.0:
+            for replica, gauge in zip(self.pool.replicas, self._g_utilization):
+                gauge.set(replica.server.busy_ms_total / now_ms)
+
+        recovered = self.degrade.maybe_recover(now_ms, depth)
+        if recovered is not None:
+            self._m_recover.inc()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "serve.recover",
+                    lane="serve",
+                    ts_ms=now_ms,
+                    session=recovered,
+                    queue_depth=depth,
+                )
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _drain_replica(
+        self, replica: ServerReplica, now_ms: float, outcomes: list[ServeOutcome]
+    ) -> None:
+        alpha = self.admission.config.est_infer_alpha
+        while replica.queue:
+            free_at = replica.server.free_at_ms
+            earliest = min(item.arrive_ms for item in replica.queue)
+            pick_ms = max(free_at, earliest)
+            # Commit only picks that are in the simulated past: every
+            # not-yet-dispatched request arrives after ``now_ms``, so no
+            # later arrival could have contended for this slot.
+            if pick_ms > now_ms:
+                return
+            arrived = sorted(
+                (item for item in replica.queue if item.arrive_ms <= pick_ms),
+                key=self.pool.policy.service_key,
+            )
+            chosen = None
+            for item in arrived:
+                if self.admission.should_shed(item, pick_ms, replica.est_infer_ms):
+                    replica.queue.remove(item)
+                    replica.shed += 1
+                    self.counts["shed"] += 1
+                    self._m_shed.inc()
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "serve.shed",
+                            lane="serve",
+                            ts_ms=pick_ms,
+                            frame=item.frame_index,
+                            session=item.session_index,
+                            server=replica.index,
+                            deadline_ms=round(item.deadline_ms, 6),
+                        )
+                    self._note_failure(item.session_index, now_ms)
+                    outcomes.append(
+                        ServeOutcome(
+                            kind="shed", item=item, server_index=replica.index
+                        )
+                    )
+                    continue
+                chosen = item
+                break
+            if chosen is None:
+                continue  # everything arrived was shed; re-evaluate queue
+            replica.queue.remove(chosen)
+            free_before = replica.server.free_at_ms
+            completion, detections = replica.server.submit(
+                chosen.request,
+                chosen.truth_masks,
+                chosen.image_shape,
+                chosen.arrive_ms,
+            )
+            start = max(chosen.arrive_ms, free_before)
+            replica.observe_infer(completion - start, alpha)
+            replica.completed += 1
+            self.counts["completed"] += 1
+            self._m_complete.inc()
+            outcomes.append(
+                ServeOutcome(
+                    kind="complete",
+                    item=chosen,
+                    masks=detections,
+                    completion_ms=completion,
+                    server_index=replica.index,
+                )
+            )
+
+    def _note_failure(self, session_index: int, now_ms: float) -> None:
+        if self.degrade.on_failure(session_index, now_ms):
+            self._m_degrade.inc()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "serve.degrade",
+                    lane="serve",
+                    ts_ms=now_ms,
+                    session=session_index,
+                    failures=self.degrade.sessions[
+                        session_index
+                    ].consecutive_failures,
+                )
+
+    # ------------------------------------------------------------------
+    def stats(self, duration_ms: float | None = None) -> dict:
+        """JSON-clean scheduler summary for BENCH artifacts / CLI."""
+        per_server = []
+        for replica in self.pool.replicas:
+            entry = {
+                "index": replica.index,
+                "completed": replica.completed,
+                "shed": replica.shed,
+                "left_in_queue": len(replica.queue),
+                "busy_ms": round(replica.server.busy_ms_total, 6),
+                "est_infer_ms": round(replica.est_infer_ms, 6),
+            }
+            if duration_ms:
+                entry["utilization"] = round(
+                    replica.server.busy_ms_total / duration_ms, 6
+                )
+            per_server.append(entry)
+        submitted = self.counts["submitted"]
+        shed = self.counts["shed"]
+        return {
+            "policy": self.pool.policy.name,
+            "num_servers": len(self.pool),
+            "queue_limit": self.admission.config.queue_limit,
+            "deadline_horizon": self.admission.config.deadline_horizon,
+            "submitted": submitted,
+            "admitted": self.counts["admitted"],
+            "rejected_queue_full": self.counts["rejected_queue_full"],
+            "rejected_infeasible": self.counts["rejected_infeasible"],
+            "shed": shed,
+            "completed": self.counts["completed"],
+            "shed_rate": round(shed / submitted, 6) if submitted else 0.0,
+            "left_in_queue": self.pool.queue_depth(),
+            "degrade": self.degrade.stats(),
+            "per_server": per_server,
+        }

@@ -53,6 +53,50 @@ class TestRunCommand:
         assert "mean_iou" in out
 
 
+class TestServeCommand:
+    def test_serve_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve"])
+        assert args.clients == 8
+        assert args.policy == "edf"
+        assert args.frames == 60
+        assert not args.fifo
+
+    def test_unknown_policy_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve", "--policy", "lottery"])
+
+    def test_serve_small_fleet_and_save(self, tmp_path, capsys):
+        out_path = tmp_path / "fleet.json"
+        code = main(
+            [
+                "serve",
+                "--clients",
+                "2",
+                "--frames",
+                "15",
+                "--warmup",
+                "5",
+                "--json",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert len(payload["sessions"]) == 2
+        assert payload["serve"]["policy"] == "edf"
+        assert 0.0 <= payload["slo"]["miss_rate"] <= 1.0
+        out = capsys.readouterr().out
+        assert "fleet SLO" in out and "serve:" in out
+
+    def test_serve_fifo_topology(self, capsys):
+        code = main(["serve", "--clients", "2", "--frames", "15", "--fifo"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fifo (no scheduler)" in out
+
+
 class TestResultPayloadSchema:
     def test_round_trips_through_json(self, tmp_path):
         """The shared payload (used by `repro run`, `repro compare` and

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.network import CHANNELS, Channel, make_channel
+from repro.network import CHANNELS, Channel, make_channel, spawn_channel_rngs
+from repro.network.channel import ChannelProfile
 
 
 class TestChannels:
@@ -54,8 +55,6 @@ class TestChannels:
         assert down < up
 
     def test_loss_adds_stalls(self):
-        from repro.network.channel import ChannelProfile
-
         lossy = Channel(
             ChannelProfile("lossy", 100, 100, 10, 0.0, 1.0),
             np.random.default_rng(5),
@@ -65,3 +64,52 @@ class TestChannels:
             np.random.default_rng(5),
         )
         assert lossy.uplink_ms(1000) > clean.uplink_ms(1000)
+
+    def test_loss_stall_path_matches_rng_replay(self):
+        """With jitter off, each transfer is rtt/2 + serialization, plus
+        exactly one 2xRTT stall whenever the seeded loss draw fires."""
+        profile = ChannelProfile("half-lossy", 100, 100, 10, 0.0, 0.5)
+        channel = Channel(profile, np.random.default_rng(6))
+        replay = np.random.default_rng(6)
+        base = profile.rtt_ms / 2 + 1000 * 8 / (profile.uplink_mbps * 1e6) * 1000
+        stalled = 0
+        for _ in range(40):
+            observed = channel.uplink_ms(1000)
+            replay.normal(0.0, profile.jitter)  # jitter draw (multiplier 1)
+            lost = replay.uniform() < profile.loss_rate
+            expected = base + (2.0 * profile.rtt_ms if lost else 0.0)
+            stalled += lost
+            assert observed == pytest.approx(expected)
+        assert 0 < stalled < 40  # the seed exercises both branches
+
+    def test_jitter_deterministic_under_fixed_seed(self):
+        draws_a = [
+            make_channel("lte", np.random.default_rng(42)).uplink_ms(50_000)
+            for _ in range(1)
+        ]
+        channel_a = make_channel("lte", np.random.default_rng(42))
+        channel_b = make_channel("lte", np.random.default_rng(42))
+        sequence_a = [channel_a.uplink_ms(50_000) for _ in range(20)]
+        sequence_b = [channel_b.uplink_ms(50_000) for _ in range(20)]
+        assert sequence_a == sequence_b
+        assert sequence_a[0] == draws_a[0]
+        channel_c = make_channel("lte", np.random.default_rng(43))
+        assert [channel_c.uplink_ms(50_000) for _ in range(20)] != sequence_a
+
+
+class TestSpawnChannelRngs:
+    def test_streams_are_deterministic_and_distinct(self):
+        first = [rng.uniform() for rng in spawn_channel_rngs(11, 4)]
+        second = [rng.uniform() for rng in spawn_channel_rngs(11, 4)]
+        assert first == second
+        assert len(set(first)) == 4
+
+    def test_different_seed_different_streams(self):
+        a = [rng.uniform() for rng in spawn_channel_rngs(1, 3)]
+        b = [rng.uniform() for rng in spawn_channel_rngs(2, 3)]
+        assert a != b
+
+    def test_count_validation(self):
+        assert spawn_channel_rngs(0, 0) == []
+        with pytest.raises(ValueError):
+            spawn_channel_rngs(0, -1)

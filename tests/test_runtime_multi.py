@@ -42,6 +42,12 @@ class TestMultiClientPipeline:
         with pytest.raises(ValueError):
             MultiClientPipeline(sessions, make_server())
 
+    def test_mismatched_fps_rejected(self):
+        sessions = make_sessions(2, frames=30)
+        sessions[1].video.fps = 60.0
+        with pytest.raises(ValueError, match="same fps"):
+            MultiClientPipeline(sessions, make_server())
+
     def test_per_session_results(self):
         sessions = make_sessions(2, frames=40)
         results = MultiClientPipeline(sessions, make_server(), warmup_frames=10).run()

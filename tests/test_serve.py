@@ -1,0 +1,484 @@
+"""Tests for repro.serve: policies, admission control, the degrade state
+machine, the fleet scheduler, and the committed fleet BENCH baseline."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.model import SimulatedSegmentationModel
+from repro.runtime.interface import OffloadRequest
+from repro.runtime.pipeline import EdgeServer
+from repro.serve import (
+    ADMIT,
+    REJECT_INFEASIBLE,
+    REJECT_QUEUE_FULL,
+    AdmissionConfig,
+    AdmissionController,
+    DegradeConfig,
+    DegradeManager,
+    FleetScheduler,
+    POLICY_NAMES,
+    ServeItem,
+    ServerPool,
+    ServerReplica,
+    make_policy,
+)
+
+BASELINE = Path(__file__).resolve().parent.parent / (
+    "benchmarks/baselines/BENCH_fleet_baseline.json"
+)
+
+
+class _StubServer:
+    """Just enough of EdgeServer for placement/admission unit tests."""
+
+    def __init__(self, free_at_ms=0.0):
+        self.free_at_ms = free_at_ms
+        self.lane = "server"
+
+
+def make_item(seq=0, session=0, arrive_ms=0.0, deadline_ms=400.0):
+    request = OffloadRequest(frame_index=seq, payload_bytes=1000, encode_ms=5.0)
+    return ServeItem(
+        seq=seq,
+        session_index=session,
+        request=request,
+        truth_masks=[],
+        image_shape=(120, 160),
+        send_ms=arrive_ms - 2.0,
+        arrive_ms=arrive_ms,
+        deadline_ms=deadline_ms,
+    )
+
+
+def make_replicas(*free_ats, est_infer_ms=100.0):
+    return [
+        ServerReplica(index, _StubServer(free_at), est_infer_ms)
+        for index, free_at in enumerate(free_ats)
+    ]
+
+
+def make_edge_server(seed=9):
+    return EdgeServer(
+        SimulatedSegmentationModel(
+            "mask_rcnn_r101", "jetson_tx2", np.random.default_rng(seed)
+        )
+    )
+
+
+class TestPolicies:
+    def test_registry(self):
+        assert set(POLICY_NAMES) == {"round_robin", "least_queue", "edf"}
+        for name in POLICY_NAMES:
+            assert make_policy(name).name == name
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            make_policy("priority-lottery")
+
+    def test_round_robin_cycles(self):
+        policy = make_policy("round_robin")
+        replicas = make_replicas(0.0, 0.0, 0.0)
+        picks = [policy.choose(make_item(i), replicas, 0.0).index for i in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_least_queue_prefers_short_queue(self):
+        policy = make_policy("least_queue")
+        replicas = make_replicas(0.0, 0.0)
+        replicas[0].queue.append(make_item(0))
+        assert policy.choose(make_item(1), replicas, 0.0).index == 1
+
+    def test_least_queue_ties_break_on_backlog_then_index(self):
+        policy = make_policy("least_queue")
+        replicas = make_replicas(500.0, 100.0)  # equal queue lengths (0)
+        assert policy.choose(make_item(0), replicas, 0.0).index == 1
+
+    def test_edf_places_on_earliest_completion(self):
+        policy = make_policy("edf")
+        # Replica 0 busy until 600 ms, replica 1 free: EDF must pick 1.
+        replicas = make_replicas(600.0, 0.0)
+        assert policy.choose(make_item(0, arrive_ms=10.0), replicas, 0.0).index == 1
+
+    def test_edf_service_order_is_deadline_first(self):
+        policy = make_policy("edf")
+        late = make_item(seq=0, deadline_ms=900.0)
+        urgent = make_item(seq=1, deadline_ms=100.0)
+        assert sorted([late, urgent], key=policy.service_key)[0] is urgent
+
+    def test_fifo_service_order_is_sequence(self):
+        policy = make_policy("least_queue")
+        first = make_item(seq=0, deadline_ms=900.0)
+        second = make_item(seq=1, deadline_ms=100.0)
+        assert sorted([second, first], key=policy.service_key)[0] is first
+
+
+class TestAdmission:
+    def test_deadline_from_horizon(self):
+        controller = AdmissionController(AdmissionConfig(deadline_horizon=12.0))
+        assert controller.deadline_for(100.0, 33.0) == pytest.approx(496.0)
+
+    def test_admit_when_free_and_feasible(self):
+        controller = AdmissionController()
+        replica = make_replicas(0.0, est_infer_ms=100.0)[0]
+        decision = controller.check(
+            make_item(arrive_ms=10.0, deadline_ms=500.0), replica, 0.0
+        )
+        assert decision.status == ADMIT and decision.admitted
+
+    def test_reject_queue_full(self):
+        controller = AdmissionController(AdmissionConfig(queue_limit=1))
+        replica = make_replicas(0.0)[0]
+        replica.queue.append(make_item(0))
+        decision = controller.check(
+            make_item(1, arrive_ms=10.0, deadline_ms=10_000.0), replica, 0.0
+        )
+        assert decision.status == REJECT_QUEUE_FULL and not decision.admitted
+
+    def test_reject_infeasible(self):
+        controller = AdmissionController()
+        # Replica busy for 700 ms; deadline at 400 ms can't be met.
+        replica = make_replicas(700.0, est_infer_ms=350.0)[0]
+        decision = controller.check(
+            make_item(arrive_ms=10.0, deadline_ms=400.0), replica, 0.0
+        )
+        assert decision.status == REJECT_INFEASIBLE
+
+    def test_infeasible_check_can_be_disabled(self):
+        controller = AdmissionController(AdmissionConfig(reject_infeasible=False))
+        replica = make_replicas(700.0, est_infer_ms=350.0)[0]
+        decision = controller.check(
+            make_item(arrive_ms=10.0, deadline_ms=400.0), replica, 0.0
+        )
+        assert decision.admitted
+
+    def test_should_shed_on_expired_deadline(self):
+        controller = AdmissionController()
+        item = make_item(deadline_ms=400.0)
+        assert controller.should_shed(item, start_ms=395.0, est_infer_ms=100.0)
+        assert not controller.should_shed(item, start_ms=100.0, est_infer_ms=100.0)
+
+
+class TestDegradeManager:
+    def test_degrades_after_threshold(self):
+        manager = DegradeManager(2, DegradeConfig(failure_threshold=2))
+        assert manager.on_failure(0, 10.0) is False
+        assert manager.on_failure(0, 20.0) is True
+        assert manager.is_degraded(0)
+        assert not manager.is_degraded(1)
+
+    def test_success_resets_failure_run(self):
+        manager = DegradeManager(1, DegradeConfig(failure_threshold=2))
+        manager.on_failure(0, 10.0)
+        manager.on_success(0)
+        assert manager.on_failure(0, 20.0) is False
+        assert not manager.is_degraded(0)
+
+    def test_disabled_never_degrades(self):
+        manager = DegradeManager(1, DegradeConfig(enabled=False, failure_threshold=1))
+        assert manager.on_failure(0, 10.0) is False
+        assert not manager.is_degraded(0)
+
+    def test_recovery_waits_for_min_degraded_ms(self):
+        manager = DegradeManager(1, DegradeConfig(failure_threshold=1, min_degraded_ms=300.0))
+        manager.on_failure(0, 100.0)
+        assert manager.maybe_recover(200.0, queue_depth=0) is None
+        assert manager.maybe_recover(400.0, queue_depth=0) == 0
+        assert not manager.is_degraded(0)
+
+    def test_recovery_waits_for_queue_depth(self):
+        manager = DegradeManager(1, DegradeConfig(failure_threshold=1, recover_depth=1))
+        manager.on_failure(0, 0.0)
+        assert manager.maybe_recover(1000.0, queue_depth=5) is None
+        assert manager.maybe_recover(1000.0, queue_depth=1) == 0
+
+    def test_recovery_is_staggered_oldest_first(self):
+        manager = DegradeManager(3, DegradeConfig(failure_threshold=1))
+        manager.on_failure(2, 50.0)
+        manager.on_failure(0, 100.0)
+        manager.on_failure(1, 150.0)
+        assert manager.maybe_recover(1000.0, queue_depth=0) == 2
+        assert manager.maybe_recover(1000.0, queue_depth=0) == 0
+        assert manager.maybe_recover(1000.0, queue_depth=0) == 1
+        assert manager.maybe_recover(1000.0, queue_depth=0) is None
+
+    def test_keyframe_flag_is_one_shot(self):
+        manager = DegradeManager(1, DegradeConfig(failure_threshold=1))
+        manager.on_failure(0, 0.0)
+        assert not manager.take_keyframe_request(0)
+        manager.maybe_recover(1000.0, queue_depth=0)
+        assert manager.take_keyframe_request(0)
+        assert not manager.take_keyframe_request(0)
+
+    def test_stats_counts(self):
+        manager = DegradeManager(2, DegradeConfig(failure_threshold=1))
+        manager.on_failure(0, 0.0)
+        manager.maybe_recover(1000.0, queue_depth=0)
+        manager.on_failure(1, 1000.0)
+        stats = manager.stats()
+        assert stats["degrade_events"] == 2
+        assert stats["recover_events"] == 1
+        assert stats["degraded_at_end"] == [1]
+
+
+class TestServerPool:
+    def test_requires_servers(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ServerPool([])
+
+    def test_replica_lanes_renamed(self):
+        pool = ServerPool([make_edge_server(1), make_edge_server(2)])
+        assert [r.server.lane for r in pool.replicas] == ["server0", "server1"]
+
+    def test_queue_depth_and_free(self):
+        pool = ServerPool([make_edge_server()])
+        assert pool.queue_depth() == 0
+        assert pool.is_free_at(0.0)
+        pool.replicas[0].queue.append(make_item())
+        assert pool.queue_depth() == 1
+        assert not pool.is_free_at(0.0)
+
+
+class TestFleetScheduler:
+    def make_scheduler(self, **kwargs):
+        kwargs.setdefault("num_sessions", 2)
+        return FleetScheduler([make_edge_server()], **kwargs)
+
+    def test_submit_admits_then_bounds_queue(self):
+        scheduler = self.make_scheduler(
+            admission=AdmissionConfig(queue_limit=1, reject_infeasible=False)
+        )
+        request = OffloadRequest(frame_index=0, payload_bytes=1000, encode_ms=5.0)
+        first = scheduler.submit(0, request, [], (120, 160), 0.0, 5.0, 33.0, 0.0)
+        second = scheduler.submit(1, request, [], (120, 160), 0.0, 6.0, 33.0, 0.0)
+        assert first == (True, ADMIT)
+        # queue_limit=1: the first request sits in the queue until a
+        # drain, so the second arrival finds it full.
+        assert second == (False, REJECT_QUEUE_FULL)
+        scheduler.advance(10_000.0)  # drains the queue
+        third = scheduler.submit(
+            0, request, [], (120, 160), 10_000.0, 10_005.0, 33.0, 10_000.0
+        )
+        assert third == (True, ADMIT)
+
+    def test_infeasible_rejection_trips_degrade(self):
+        scheduler = self.make_scheduler(
+            admission=AdmissionConfig(deadline_horizon=1.0),
+            degrade=DegradeConfig(failure_threshold=2),
+        )
+        request = OffloadRequest(frame_index=0, payload_bytes=1000, encode_ms=5.0)
+        # Deadline = send + 33 ms; est completion >= 350 ms prior: reject.
+        for send in (0.0, 33.0):
+            admitted, status = scheduler.submit(
+                0, request, [], (120, 160), send, send + 5.0, 33.0, send
+            )
+            assert not admitted and status == REJECT_INFEASIBLE
+        assert scheduler.is_degraded(0)
+        assert scheduler.counts["rejected_infeasible"] == 2
+
+    def test_drain_completes_admitted_work(self):
+        scheduler = self.make_scheduler()
+        request = OffloadRequest(frame_index=3, payload_bytes=1000, encode_ms=5.0)
+        admitted, _ = scheduler.submit(
+            0, request, [], (120, 160), 0.0, 5.0, 100.0, 0.0
+        )
+        assert admitted
+        assert scheduler.advance(0.0) == []  # GPU start (5 ms) still ahead
+        outcomes = scheduler.advance(10_000.0)
+        assert [o.kind for o in outcomes] == ["complete"]
+        assert outcomes[0].item.frame_index == 3
+        assert outcomes[0].completion_ms > 5.0
+        assert scheduler.counts["completed"] == 1
+
+    def test_shed_expired_queue_entries(self):
+        scheduler = self.make_scheduler(
+            admission=AdmissionConfig(reject_infeasible=False),
+            degrade=DegradeConfig(failure_threshold=1),
+        )
+        request = OffloadRequest(frame_index=0, payload_bytes=1000, encode_ms=5.0)
+        # Two requests, tight deadlines: the first occupies the GPU past
+        # both deadlines, so the queued one is shed unrun.
+        scheduler.submit(0, request, [], (120, 160), 0.0, 5.0, 33.0, 0.0)
+        scheduler.submit(1, request, [], (120, 160), 0.0, 6.0, 33.0, 0.0)
+        outcomes = scheduler.advance(10_000.0)
+        kinds = sorted(o.kind for o in outcomes)
+        assert kinds == ["complete", "shed"]
+        assert scheduler.counts["shed"] == 1
+        shed = next(o for o in outcomes if o.kind == "shed")
+        assert scheduler.is_degraded(shed.item.session_index)
+
+    def test_deterministic_across_runs(self):
+        def run_once():
+            scheduler = self.make_scheduler(num_sessions=3)
+            request = OffloadRequest(
+                frame_index=0, payload_bytes=1000, encode_ms=5.0
+            )
+            for tick in range(20):
+                now = tick * 33.0
+                scheduler.submit(
+                    tick % 3, request, [], (120, 160), now, now + 5.0, 33.0, now
+                )
+                scheduler.advance(now)
+            scheduler.advance(10_000.0)
+            return scheduler.stats(10_000.0)
+
+        assert run_once() == run_once()
+
+    def test_stats_shape(self):
+        scheduler = self.make_scheduler()
+        stats = scheduler.stats(1000.0)
+        assert stats["policy"] == "edf"
+        assert stats["num_servers"] == 1
+        assert stats["submitted"] == 0
+        assert stats["per_server"][0]["utilization"] == 0.0
+        json.dumps(stats)  # JSON-clean
+
+
+class TestClientCapabilities:
+    def make_client(self):
+        from repro.eval.experiments import ExperimentSpec, _make_video, build_client
+
+        spec = ExperimentSpec(
+            system="baseline+mamt",
+            num_frames=10,
+            resolution=(160, 120),
+            seed=0,
+        )
+        video = _make_video(spec)
+        return build_client("baseline+mamt", video, seed=0), video
+
+    def test_offload_disabled_suppresses_attempts(self):
+        client, video = self.make_client()
+        client.set_offload_enabled(False)
+        for index in range(6):
+            frame, truth = video.frame_at(index)
+            output = client.process_frame(frame, truth, index * 33.0)
+            assert output.offload is None
+
+    def test_offload_rejected_frees_slot(self):
+        client, video = self.make_client()
+        frame, truth = video.frame_at(0)
+        output = client.process_frame(frame, truth, 0.0)
+        assert output.offload is not None
+        before = client._outstanding
+        client.offload_rejected(0, 10.0)
+        assert client._outstanding == before - 1
+
+    def test_request_keyframe_forces_full_offload(self):
+        client, video = self.make_client()
+        client.set_offload_enabled(False)
+        frame, truth = video.frame_at(0)
+        client.process_frame(frame, truth, 0.0)
+        client.set_offload_enabled(True)
+        client.request_keyframe()
+        frame, truth = video.frame_at(1)
+        output = client.process_frame(frame, truth, 33.0)
+        assert output.offload is not None
+        assert output.offload.reason == "recover-keyframe"
+        assert output.offload.instructions is None
+        # One-shot: the next offload is a normal one.
+        client.offload_rejected(1, 40.0)
+        frame, truth = video.frame_at(2)
+        output = client.process_frame(frame, truth, 66.0)
+        if output.offload is not None:
+            assert output.offload.reason != "recover-keyframe"
+
+    def test_baseline_clients_implement_offload_rejected(self):
+        from repro.baselines.systems import (
+            BestEffortEdgeClient,
+            EAARClient,
+            EdgeDuetClient,
+            MobileOnlyClient,
+        )
+
+        for cls in (BestEffortEdgeClient, EAARClient, EdgeDuetClient):
+            client = cls((120, 160))
+            client._outstanding = 1
+            client.offload_rejected(0, 0.0)
+            assert client._outstanding == 0
+        MobileOnlyClient().offload_rejected(0, 0.0)  # no-op, must not raise
+
+
+class TestFleetExperiment:
+    def test_small_fleet_runs_and_reports(self):
+        from repro.eval.experiments import FleetSpec, run_fleet
+
+        spec = FleetSpec(
+            num_clients=3,
+            num_frames=20,
+            resolution=(128, 96),
+            warmup_frames=5,
+            seed=3,
+        )
+        outcome = run_fleet(spec)
+        assert len(outcome.results) == 3
+        stats = outcome.scheduler.stats(outcome.duration_ms)
+        assert stats["submitted"] > 0
+        assert stats["submitted"] == (
+            stats["admitted"]
+            + stats["rejected_queue_full"]
+            + stats["rejected_infeasible"]
+        )
+
+    def test_fifo_topology_has_no_scheduler(self):
+        from repro.eval.experiments import FleetSpec, run_fleet
+
+        outcome = run_fleet(
+            FleetSpec(
+                num_clients=2,
+                num_frames=15,
+                resolution=(128, 96),
+                warmup_frames=5,
+                scheduler=False,
+            )
+        )
+        assert outcome.scheduler is None
+        assert len(outcome.results) == 2
+
+    def test_fifo_multi_server_rejected(self):
+        from repro.eval.experiments import FleetSpec, run_fleet
+
+        with pytest.raises(ValueError, match="exactly one server"):
+            run_fleet(FleetSpec(scheduler=False, num_servers=2))
+
+    def test_channel_rngs_are_independent(self):
+        from repro.network import spawn_channel_rngs
+
+        rngs = spawn_channel_rngs(7, 3)
+        draws = [rng.uniform() for rng in rngs]
+        assert len(set(draws)) == 3
+        again = [rng.uniform() for rng in spawn_channel_rngs(7, 3)]
+        assert draws == again  # deterministic per (seed, index)
+
+
+class TestFleetBaselineArtifact:
+    """The committed fleet BENCH artifact must certify the tentpole
+    claim: under 8-client saturation, deadline-aware scheduling with
+    MAMT-fallback degradation strictly beats the bare FIFO deployment
+    on frame-deadline miss rate."""
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        assert BASELINE.exists(), "run: repro bench run --suite fleet --label baseline --out benchmarks/baselines"
+        return json.loads(BASELINE.read_text())
+
+    def test_scenarios_present(self, payload):
+        assert payload["suite"] == "fleet"
+        assert {"fifo-1srv", "edf-1srv-degrade", "lq-2srv"} <= set(
+            payload["scenarios"]
+        )
+
+    def test_deadline_aware_beats_fifo_miss_rate(self, payload):
+        fifo = payload["scenarios"]["fifo-1srv"]["slo"]["miss_rate"]
+        edf = payload["scenarios"]["edf-1srv-degrade"]["slo"]["miss_rate"]
+        assert edf < fifo  # strictly lower
+
+    def test_shed_and_degrade_counts_recorded(self, payload):
+        serve = payload["scenarios"]["edf-1srv-degrade"]["serve"]
+        assert serve["scheduler"] is True
+        assert serve["shed"] + serve["rejected_infeasible"] > 0
+        assert serve["shed"] >= 1
+        assert serve["degrade"]["degrade_events"] >= 1
+        fifo = payload["scenarios"]["fifo-1srv"]["serve"]
+        assert fifo["scheduler"] is False
