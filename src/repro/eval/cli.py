@@ -10,7 +10,12 @@ Examples::
     python -m repro.eval.cli bench compare results/BENCH_smoke_old.json \
         results/BENCH_smoke_new.json
     python -m repro.eval.cli bench trend
+    python -m repro.eval.cli report --suite fleet --label dev --format md,html
     python -m repro.eval.cli list
+
+``trace`` and ``report`` share one ``--format`` convention: a
+comma-separated subset of ``table,jsonl,chrome,md,html`` (each verb
+accepts the formats it can render).
 """
 
 from __future__ import annotations
@@ -22,8 +27,11 @@ from pathlib import Path
 
 from ..network.channel import CHANNELS
 from ..obs import (
+    DEFAULT_SAMPLE_INTERVAL_MS,
+    DEFAULT_SLO_TARGET,
     FRAME_BUDGET_MS,
     SUITES,
+    build_report,
     compare_payloads,
     evaluate_slo,
     mean_frame_latency_ms,
@@ -33,6 +41,7 @@ from ..obs import (
     write_bench,
     write_chrome_trace,
     write_jsonl,
+    write_report,
     write_trend_report,
 )
 from ..serve import POLICY_NAMES
@@ -57,6 +66,40 @@ TRACE_BENCHES = {
     "fig10-lte": {"dataset": "xiph_like", "network": "lte", "motion": "walk"},
     "fig12-jog": {"dataset": "kitti_like", "network": "wifi_5ghz", "motion": "jog"},
 }
+
+
+def _format_list(allowed: tuple[str, ...]):
+    """argparse ``type=`` factory for the shared ``--format`` flag: a
+    comma-separated subset of the formats the verb can render."""
+
+    def parse(value: str) -> list[str]:
+        formats = []
+        for part in value.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if part not in allowed:
+                raise argparse.ArgumentTypeError(
+                    f"unknown format {part!r}; choose from {','.join(allowed)}"
+                )
+            if part not in formats:
+                formats.append(part)
+        if not formats:
+            raise argparse.ArgumentTypeError("at least one format required")
+        return formats
+
+    return parse
+
+
+def _add_format_flag(sub, allowed: tuple[str, ...], default: str) -> None:
+    sub.add_argument(
+        "--format",
+        dest="formats",
+        type=_format_list(allowed),
+        default=_format_list(allowed)(default),
+        help=f"comma-separated outputs to write (subset of {','.join(allowed)};"
+        f" default {default})",
+    )
 
 
 def _spec_from_args(args, system: str | None = None) -> ExperimentSpec:
@@ -139,17 +182,27 @@ def _cmd_trace(args) -> int:
     result = outcome.result
 
     out_dir = Path(args.out or f"results/traces/{args.bench}")
-    jsonl_path = write_jsonl(tracer, out_dir / "trace.jsonl")
-    chrome_path = write_chrome_trace(
-        tracer, out_dir / "trace_chrome.json", process_name=f"{spec.system}:{args.bench}"
-    )
-    table = stage_table(
-        tracer,
-        title=f"per-stage latency — {spec.system} on {spec.dataset} over {spec.network}",
-    )
-    table_path = out_dir / "stage_latency.txt"
-    table_path.write_text(table.render() + "\n")
-    table.print()
+    written = []
+    if "jsonl" in args.formats:
+        written.append(write_jsonl(tracer, out_dir / "trace.jsonl"))
+    if "chrome" in args.formats:
+        written.append(
+            write_chrome_trace(
+                tracer,
+                out_dir / "trace_chrome.json",
+                process_name=f"{spec.system}:{args.bench}",
+            )
+        )
+    if "table" in args.formats:
+        table = stage_table(
+            tracer,
+            title=f"per-stage latency — {spec.system} on {spec.dataset} over {spec.network}",
+        )
+        table_path = out_dir / "stage_latency.txt"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        table_path.write_text(table.render() + "\n")
+        table.print()
+        written.append(table_path)
 
     # Reconcile: the trace's per-frame client spans must reproduce the
     # run's mean display latency (same simulation, finer grain).
@@ -157,9 +210,8 @@ def _cmd_trace(args) -> int:
     reported_ms = result.mean_latency_ms()
     delta = abs(traced_ms - reported_ms) / max(reported_ms, 1e-9)
     print(f"spans:  {len(tracer.spans)}   events: {len(tracer.events)}")
-    print(f"wrote  {jsonl_path}")
-    print(f"wrote  {chrome_path}  (open in chrome://tracing or ui.perfetto.dev)")
-    print(f"wrote  {table_path}")
+    for path in written:
+        print(f"wrote  {path}")
     print(
         f"reconciliation: trace {traced_ms:.3f} ms vs run {reported_ms:.3f} ms "
         f"({delta * 100:.3f}% apart)"
@@ -253,7 +305,11 @@ def _cmd_serve(args) -> int:
 def _cmd_bench_run(args) -> int:
     """Run a benchmark suite and write its BENCH artifact."""
     payload = run_suite(
-        args.suite, args.label, degrade=args.degrade, budget_ms=args.budget_ms
+        args.suite,
+        args.label,
+        degrade=args.degrade,
+        budget_ms=args.budget_ms,
+        slo_target=args.slo_target,
     )
     path = write_bench(payload, args.out)
     table = Table(
@@ -309,6 +365,46 @@ def _cmd_bench_trend(args) -> int:
     out = write_trend_report(args.results_dir, args.out)
     print(out.read_text())
     print(f"wrote  {out}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Run a suite observed and render the deterministic ops report."""
+    report = build_report(
+        args.suite,
+        args.label,
+        degrade=args.degrade,
+        budget_ms=args.budget_ms,
+        slo_target=args.slo_target,
+        sample_interval_ms=args.sample_interval_ms,
+    )
+    paths = write_report(report, args.out, formats=args.formats)
+    table = Table(
+        f"report {args.suite} [{args.label}] — SLO target "
+        f"{args.slo_target * 100:.1f}% miss",
+        [
+            "scenario",
+            "miss rate",
+            "budget used %",
+            "max fast burn",
+            "max slow burn",
+            "anomalies",
+        ],
+    )
+    for name in sorted(report["scenarios"]):
+        scenario = report["scenarios"][name]
+        budget = scenario["budget"]
+        table.add_row(
+            name,
+            scenario["slo"]["miss_rate"],
+            budget["consumed_fraction"] * 100.0,
+            budget["max_fast_burn_rate"],
+            budget["max_slow_burn_rate"],
+            len(scenario["anomalies"]),
+        )
+    table.print()
+    for path in paths:
+        print(f"wrote  {path}")
     return 0
 
 
@@ -379,6 +475,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="additionally record wall-clock span times (breaks trace diffability)",
     )
+    _add_format_flag(
+        trace_parser, ("table", "jsonl", "chrome"), "table,jsonl,chrome"
+    )
     trace_parser.set_defaults(func=_cmd_trace)
 
     serve_parser = subparsers.add_parser(
@@ -448,6 +547,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=FRAME_BUDGET_MS,
         help="per-frame deadline for SLO evaluation (default 33.33 ms = 30 fps)",
     )
+    bench_run.add_argument(
+        "--slo-target",
+        type=float,
+        default=DEFAULT_SLO_TARGET,
+        help="error-budget miss-rate target (default %(default)s)",
+    )
     bench_run.set_defaults(func=_cmd_bench_run)
 
     bench_compare = bench_sub.add_parser(
@@ -471,6 +576,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="report path (default <results-dir>/README.md)"
     )
     bench_trend.set_defaults(func=_cmd_bench_trend)
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="run a suite observed and render the ops report (timelines,"
+        " error budgets, session strips, anomalies)",
+    )
+    report_parser.add_argument(
+        "--suite", default="fleet", choices=sorted(SUITES)
+    )
+    report_parser.add_argument(
+        "--label", default="dev", help="report label (REPORT_<suite>_<label>.*)"
+    )
+    report_parser.add_argument(
+        "--out",
+        default="results/reports",
+        help="output directory (default results/reports/)",
+    )
+    report_parser.add_argument(
+        "--degrade",
+        type=float,
+        default=1.0,
+        help="synthetically slow the edge server by this factor",
+    )
+    report_parser.add_argument(
+        "--budget-ms",
+        type=float,
+        default=FRAME_BUDGET_MS,
+        help="per-frame deadline for SLO evaluation (default 33.33 ms = 30 fps)",
+    )
+    report_parser.add_argument(
+        "--slo-target",
+        type=float,
+        default=DEFAULT_SLO_TARGET,
+        help="error-budget miss-rate target (default %(default)s)",
+    )
+    report_parser.add_argument(
+        "--sample-interval-ms",
+        type=float,
+        default=DEFAULT_SAMPLE_INTERVAL_MS,
+        help="timeline sampling interval in simulated ms (default %(default)s)",
+    )
+    _add_format_flag(report_parser, ("md", "html"), "md,html")
+    report_parser.set_defaults(func=_cmd_report)
 
     list_parser = subparsers.add_parser("list", help="list available names")
     list_parser.set_defaults(func=_cmd_list)

@@ -22,6 +22,7 @@ from ..core.system import EdgeISSystem
 from ..model.costs import DEVICES, DeviceProfile
 from ..model.maskrcnn import SimulatedSegmentationModel
 from ..network.channel import make_channel, spawn_channel_rngs
+from ..obs.timeline import TimelineSampler
 from ..obs.trace import NULL_TRACER, Tracer
 from ..runtime.multi import ClientSession, MultiClientPipeline
 from ..runtime.pipeline import EdgeServer, Pipeline, RunResult
@@ -113,6 +114,10 @@ class ExperimentSpec:
     # default; the no-op tracer keeps the disabled path overhead-free).
     trace: bool = False
     trace_wall_clock: bool = False
+    # Snapshot gauges/counters into fixed-interval time series every
+    # this many simulated ms (None = no timeline; requires trace=True
+    # for the registry to be live).
+    sample_interval_ms: float | None = None
 
 
 @dataclass
@@ -122,6 +127,7 @@ class ExperimentOutcome:
     resources: ResourceMonitor | None = None
     client: object | None = None
     tracer: Tracer | None = None
+    sampler: TimelineSampler | None = None
 
 
 def _make_video(spec: ExperimentSpec) -> SyntheticVideo:
@@ -163,6 +169,11 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentOutcome:
         ),
         tracer=tracer,
     )
+    sampler = (
+        TimelineSampler(tracer.metrics, interval_ms=spec.sample_interval_ms)
+        if spec.sample_interval_ms is not None
+        else None
+    )
     pipeline = Pipeline(
         video,
         client,
@@ -170,6 +181,7 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentOutcome:
         server,
         warmup_frames=spec.warmup_frames,
         tracer=tracer,
+        sampler=sampler,
     )
 
     monitor = None
@@ -183,6 +195,7 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentOutcome:
         result=result,
         resources=monitor,
         client=client,
+        sampler=sampler,
         tracer=tracer if spec.trace else None,
     )
 
@@ -244,6 +257,7 @@ class FleetSpec:
     seed: int = 0
     trace: bool = False
     trace_wall_clock: bool = False
+    sample_interval_ms: float | None = None
 
 
 @dataclass
@@ -253,6 +267,7 @@ class FleetOutcome:
     sessions: list[ClientSession]
     scheduler: FleetScheduler | None = None
     tracer: Tracer | None = None
+    sampler: TimelineSampler | None = None
     duration_ms: float = 0.0
 
 
@@ -327,12 +342,18 @@ def run_fleet(spec: FleetSpec) -> FleetOutcome:
     else:
         backend = servers[0]
 
+    sampler = (
+        TimelineSampler(tracer.metrics, interval_ms=spec.sample_interval_ms)
+        if spec.sample_interval_ms is not None
+        else None
+    )
     pipeline = MultiClientPipeline(
         sessions,
         backend,
         warmup_frames=spec.warmup_frames,
         tracer=tracer,
         deadline_budget_ms=spec.deadline_budget_ms,
+        sampler=sampler,
     )
     results = pipeline.run()
     duration = spec.num_frames * (1000.0 / sessions[0].video.fps)
@@ -342,5 +363,6 @@ def run_fleet(spec: FleetSpec) -> FleetOutcome:
         sessions=sessions,
         scheduler=scheduler,
         tracer=tracer if spec.trace else None,
+        sampler=sampler,
         duration_ms=duration,
     )

@@ -19,7 +19,9 @@ __all__ = ["SCHEMA_VERSION", "Table", "format_cdf", "result_payload", "save_json
 # ``repro run``/``repro compare`` outputs and the per-scenario ``result``
 # section of BENCH files).  Bump when the payload shape changes;
 # ``repro bench compare`` refuses to diff mismatched versions.
-SCHEMA_VERSION = 2
+# v3: scenarios carry an error-budget section (``budget``) gated by
+# ``repro bench compare``; suite payloads record ``slo_target``.
+SCHEMA_VERSION = 3
 
 
 @dataclass

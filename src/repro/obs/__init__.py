@@ -25,6 +25,22 @@ from .export import (
     write_jsonl,
 )
 from .slo import FRAME_BUDGET_MS, evaluate_slo, exact_percentile, frame_latency_spans
+from .timeline import (
+    DEFAULT_SAMPLE_INTERVAL_MS,
+    TimelineSampler,
+    TimelineSeries,
+    detect_latency_spikes,
+    detect_queue_growth,
+)
+from .budget import (
+    DEFAULT_SLO_TARGET,
+    FAST_BURN_WINDOW_MS,
+    SLOW_BURN_WINDOW_MS,
+    BurnRateTracker,
+    detect_budget_exhaustion,
+    evaluate_error_budget,
+    session_timelines,
+)
 from .bench import (
     SUITES,
     BenchScenario,
@@ -32,9 +48,17 @@ from .bench import (
     bench_filename,
     dump_bench,
     run_scenario,
+    run_scenario_observed,
     run_suite,
     stage_percentiles,
     write_bench,
+)
+from .report import (
+    build_report,
+    render_report_html,
+    render_report_markdown,
+    report_filename,
+    write_report,
 )
 from .compare import (
     compare_payloads,
@@ -68,15 +92,33 @@ __all__ = [
     "evaluate_slo",
     "exact_percentile",
     "frame_latency_spans",
+    "DEFAULT_SAMPLE_INTERVAL_MS",
+    "TimelineSampler",
+    "TimelineSeries",
+    "detect_latency_spikes",
+    "detect_queue_growth",
+    "DEFAULT_SLO_TARGET",
+    "FAST_BURN_WINDOW_MS",
+    "SLOW_BURN_WINDOW_MS",
+    "BurnRateTracker",
+    "detect_budget_exhaustion",
+    "evaluate_error_budget",
+    "session_timelines",
     "SUITES",
     "BenchScenario",
     "FleetBenchScenario",
     "bench_filename",
     "dump_bench",
     "run_scenario",
+    "run_scenario_observed",
     "run_suite",
     "stage_percentiles",
     "write_bench",
+    "build_report",
+    "render_report_html",
+    "render_report_markdown",
+    "report_filename",
+    "write_report",
     "compare_payloads",
     "load_bench_dir",
     "render_comparison",

@@ -35,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .budget import DEFAULT_SLO_TARGET, evaluate_error_budget
 from .metrics import Histogram
 from .slo import FRAME_BUDGET_MS, evaluate_slo, exact_percentile
 from .trace import Tracer
@@ -46,6 +47,7 @@ __all__ = [
     "environment_fingerprint",
     "stage_percentiles",
     "run_scenario",
+    "run_scenario_observed",
     "run_suite",
     "bench_filename",
     "dump_bench",
@@ -200,19 +202,48 @@ def stage_percentiles(tracer: Tracer) -> dict[str, dict]:
     return stages
 
 
+def _lean_budget(budget_report: dict) -> dict:
+    """The artifact-embedded form: scalars only, no burn series."""
+    return {k: v for k, v in budget_report.items() if k != "burn_series"}
+
+
 def run_scenario(
     scenario: BenchScenario,
     degrade: float = 1.0,
     budget_ms: float = FRAME_BUDGET_MS,
+    slo_target: float = DEFAULT_SLO_TARGET,
 ) -> dict:
     """Run one scenario traced and fold it into its JSON payload."""
+    payload, _ = run_scenario_observed(
+        scenario, degrade=degrade, budget_ms=budget_ms, slo_target=slo_target
+    )
+    return payload
+
+
+def run_scenario_observed(
+    scenario: BenchScenario,
+    degrade: float = 1.0,
+    budget_ms: float = FRAME_BUDGET_MS,
+    slo_target: float = DEFAULT_SLO_TARGET,
+    sample_interval_ms: float | None = None,
+) -> tuple[dict, dict]:
+    """Run one scenario and return ``(payload, observed)``.
+
+    ``payload`` is the BENCH scenario section (including the lean
+    error-budget scalars).  ``observed`` carries what the ops report
+    needs beyond the artifact: the live tracer and timeline sampler,
+    the full budget report (with its burn series) and the simulated run
+    duration.
+    """
     # Imported here: ``repro.eval`` imports the runtime, which imports
     # this package — a module-level import would be circular.
     from ..eval.experiments import ExperimentSpec, run_experiment
     from ..eval.reporting import result_payload
 
     if isinstance(scenario, FleetBenchScenario):
-        return _run_fleet_scenario(scenario, degrade, budget_ms)
+        return _run_fleet_scenario(
+            scenario, degrade, budget_ms, slo_target, sample_interval_ms
+        )
 
     spec = ExperimentSpec(
         system=scenario.system,
@@ -226,11 +257,18 @@ def run_scenario(
         server_device=scenario.server_device,
         server_latency_scale=degrade,
         trace=True,
+        sample_interval_ms=sample_interval_ms,
     )
     outcome = run_experiment(spec)
     tracer = outcome.tracer
     counters = tracer.metrics.snapshot()["counters"]
-    return {
+    budget_report = evaluate_error_budget(
+        tracer,
+        budget_ms=budget_ms,
+        target=slo_target,
+        warmup_frames=scenario.warmup_frames,
+    )
+    payload = {
         "spec": {
             "system": scenario.system,
             "dataset": scenario.dataset,
@@ -248,6 +286,7 @@ def run_scenario(
         "slo": evaluate_slo(
             tracer, budget_ms=budget_ms, warmup_frames=scenario.warmup_frames
         ),
+        "budget": _lean_budget(budget_report),
         "offload": {
             "offload_count": int(outcome.result.offload_count),
             "bytes_up": int(outcome.result.bytes_up),
@@ -255,13 +294,22 @@ def run_scenario(
             "counters": dict(sorted(counters.items())),
         },
     }
+    observed = {
+        "tracer": tracer,
+        "sampler": outcome.sampler,
+        "budget": budget_report,
+        "duration_ms": outcome.result.duration_ms,
+    }
+    return payload, observed
 
 
 def _run_fleet_scenario(
     scenario: FleetBenchScenario,
     degrade: float = 1.0,
     budget_ms: float = FRAME_BUDGET_MS,
-) -> dict:
+    slo_target: float = DEFAULT_SLO_TARGET,
+    sample_interval_ms: float | None = None,
+) -> tuple[dict, dict]:
     """Run one fleet cell and fold it into the BENCH scenario payload.
 
     The ``result`` section keeps the single-run key names (so the same
@@ -294,11 +342,18 @@ def _run_fleet_scenario(
         warmup_frames=scenario.warmup_frames,
         seed=scenario.seed,
         trace=True,
+        sample_interval_ms=sample_interval_ms,
     )
     outcome = run_fleet(spec)
     tracer = outcome.tracer
     results = outcome.results
     counters = tracer.metrics.snapshot()["counters"]
+    budget_report = evaluate_error_budget(
+        tracer,
+        budget_ms=budget_ms,
+        target=slo_target,
+        warmup_frames=scenario.warmup_frames,
+    )
     count = len(results)
     offload_count = sum(r.offload_count for r in results)
     bytes_up = sum(r.bytes_up for r in results)
@@ -309,7 +364,7 @@ def _run_fleet_scenario(
         serve = {"scheduler": True, **outcome.scheduler.stats(duration)}
     else:
         serve = {"scheduler": False, "policy": "fifo", "num_servers": 1}
-    return {
+    payload = {
         "spec": {
             "system": scenario.system,
             "dataset": scenario.dataset,
@@ -354,6 +409,7 @@ def _run_fleet_scenario(
         "slo": evaluate_slo(
             tracer, budget_ms=budget_ms, warmup_frames=scenario.warmup_frames
         ),
+        "budget": _lean_budget(budget_report),
         "offload": {
             "offload_count": int(offload_count),
             "bytes_up": int(bytes_up),
@@ -362,6 +418,13 @@ def _run_fleet_scenario(
         },
         "serve": serve,
     }
+    observed = {
+        "tracer": tracer,
+        "sampler": outcome.sampler,
+        "budget": budget_report,
+        "duration_ms": duration,
+    }
+    return payload, observed
 
 
 def _result_schema_version() -> int:
@@ -375,6 +438,7 @@ def run_suite(
     label: str,
     degrade: float = 1.0,
     budget_ms: float = FRAME_BUDGET_MS,
+    slo_target: float = DEFAULT_SLO_TARGET,
 ) -> dict:
     """Run every scenario of a named suite into one BENCH payload."""
     from ..eval.reporting import SCHEMA_VERSION
@@ -389,10 +453,13 @@ def run_suite(
         "suite": suite,
         "label": label,
         "budget_ms": round(budget_ms, 6),
+        "slo_target": round(slo_target, 6),
         "degrade": degrade,
         "environment": environment_fingerprint(),
         "scenarios": {
-            scenario.name: run_scenario(scenario, degrade, budget_ms)
+            scenario.name: run_scenario(
+                scenario, degrade, budget_ms, slo_target=slo_target
+            )
             for scenario in SUITES[suite]
         },
     }

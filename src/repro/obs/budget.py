@@ -1,0 +1,269 @@
+"""SLO error budgets, rolling burn rates, and session state timelines.
+
+:mod:`repro.obs.slo` scores a run after the fact as one scalar miss
+rate; an operator (or the ROADMAP's autoscaler/chaos harness) needs the
+SRE framing instead: a run is *allowed* some miss fraction (the SLO
+target), which over N measured frames is an **error budget** of
+``target * N`` misses, and what matters over time is the **burn rate**
+— the windowed miss rate divided by the target.  Burn 1.0 spends the
+budget exactly at end of run; burn 10 exhausts it in a tenth of the
+run.  Two windows, SRE-style: a *fast* window that catches sharp
+regressions within a few frame intervals and a *slow* window that
+catches simmering ones without flapping.
+
+Everything is computed from the simulated-clock frame spans (one
+deadline verdict per measured frame), so two identical runs produce
+byte-identical budget reports.
+
+The module also reconstructs per-session **state timelines** from the
+``serve.*`` trace events — each client's admit/reject/shed activity and
+its degrade -> recover trajectory — which the ops report renders as one
+state strip per session.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from .slo import FRAME_BUDGET_MS, frame_latency_spans
+
+__all__ = [
+    "DEFAULT_SLO_TARGET",
+    "FAST_BURN_WINDOW_MS",
+    "SLOW_BURN_WINDOW_MS",
+    "BurnRateTracker",
+    "evaluate_error_budget",
+    "session_timelines",
+    "detect_budget_exhaustion",
+]
+
+# Allowed frame-deadline miss fraction: the paper claims hard real time,
+# but a synthetic fleet at saturation is certified against a small
+# non-zero allowance (the fleet baseline sits at ~1-2% miss).
+DEFAULT_SLO_TARGET = 0.05
+
+# Burn windows on the simulated clock.  Runs here are seconds long, so
+# the windows are proportionally tighter than SRE's hours: fast catches
+# a burst within ~15 frames, slow integrates over ~2 s of simulated time.
+FAST_BURN_WINDOW_MS = 500.0
+SLOW_BURN_WINDOW_MS = 2000.0
+
+
+class BurnRateTracker:
+    """Rolling miss-rate-over-target across one sliding window."""
+
+    def __init__(self, window_ms: float, target: float):
+        if window_ms <= 0.0:
+            raise ValueError("window_ms must be positive")
+        if not 0.0 < target <= 1.0:
+            raise ValueError("target must be in (0, 1]")
+        self.window_ms = float(window_ms)
+        self.target = float(target)
+        self._samples: deque[tuple[float, bool]] = deque()
+        self._misses_in_window = 0
+
+    def record(self, ts_ms: float, missed: bool) -> float:
+        """Add one frame verdict; returns the burn rate at ``ts_ms``."""
+        self._samples.append((ts_ms, missed))
+        if missed:
+            self._misses_in_window += 1
+        cutoff = ts_ms - self.window_ms
+        while self._samples and self._samples[0][0] <= cutoff:
+            _, old_missed = self._samples.popleft()
+            if old_missed:
+                self._misses_in_window -= 1
+        return self.burn_rate
+
+    @property
+    def burn_rate(self) -> float:
+        if not self._samples:
+            return 0.0
+        return (self._misses_in_window / len(self._samples)) / self.target
+
+
+def evaluate_error_budget(
+    tracer,
+    budget_ms: float = FRAME_BUDGET_MS,
+    target: float = DEFAULT_SLO_TARGET,
+    warmup_frames: int = 0,
+    fast_window_ms: float = FAST_BURN_WINDOW_MS,
+    slow_window_ms: float = SLOW_BURN_WINDOW_MS,
+) -> dict:
+    """Fold a traced run into an error-budget report.
+
+    Returns a JSON-clean dict: the budget arithmetic (allowed misses,
+    consumed fraction, remaining fraction, the simulated instant the
+    budget ran out — or None), the peak and final fast/slow burn rates,
+    and a ``burn_series`` (per-frame timestamps with both windowed burn
+    rates) for charting.  Consumers embedding the report in a lean
+    artifact drop the series (``dict`` minus ``"burn_series"``).
+
+    NaN policy matches :func:`~repro.obs.slo.exact_percentile`: with no
+    measured frames the rates and fractions are ``math.nan``, counts are
+    honest zeros.
+    """
+    spans = frame_latency_spans(tracer, warmup_frames=warmup_frames)
+    frames = len(spans)
+    allowed = target * frames
+    fast = BurnRateTracker(fast_window_ms, target)
+    slow = BurnRateTracker(slow_window_ms, target)
+
+    misses = 0
+    max_fast = 0.0
+    max_slow = 0.0
+    exhausted_at: float | None = None
+    times: list[float] = []
+    fast_series: list[float] = []
+    slow_series: list[float] = []
+    for span in sorted(spans, key=lambda s: (s.start_ms, s.lane)):
+        ts = span.start_ms
+        missed = span.dur_ms > budget_ms
+        if missed:
+            misses += 1
+            if exhausted_at is None and misses > allowed:
+                exhausted_at = ts
+        fast_rate = fast.record(ts, missed)
+        slow_rate = slow.record(ts, missed)
+        max_fast = max(max_fast, fast_rate)
+        max_slow = max(max_slow, slow_rate)
+        times.append(round(ts, 6))
+        fast_series.append(round(fast_rate, 6))
+        slow_series.append(round(slow_rate, 6))
+
+    if frames:
+        consumed = misses / allowed if allowed else math.inf
+        remaining = max(0.0, 1.0 - consumed)
+    else:
+        consumed = math.nan
+        remaining = math.nan
+    return {
+        "target_miss_rate": round(target, 6),
+        "budget_ms": round(budget_ms, 6),
+        "frames": frames,
+        "misses": misses,
+        "allowed_misses": round(allowed, 6),
+        "consumed_fraction": round(consumed, 6),
+        "remaining_fraction": round(remaining, 6),
+        "exhausted_at_ms": (
+            round(exhausted_at, 6) if exhausted_at is not None else None
+        ),
+        "fast_window_ms": round(fast_window_ms, 6),
+        "slow_window_ms": round(slow_window_ms, 6),
+        "fast_burn_rate": fast_series[-1] if fast_series else math.nan,
+        "slow_burn_rate": slow_series[-1] if slow_series else math.nan,
+        "max_fast_burn_rate": round(max_fast, 6) if frames else math.nan,
+        "max_slow_burn_rate": round(max_slow, 6) if frames else math.nan,
+        "burn_series": {
+            "times_ms": times,
+            "fast": fast_series,
+            "slow": slow_series,
+        },
+    }
+
+
+def detect_budget_exhaustion(
+    budget_report: dict, tracer=None, emit: bool = False
+) -> list[dict]:
+    """The budget-exhaustion anomaly: the first simulated instant the
+    run's cumulative misses exceeded its whole error budget."""
+    exhausted_at = budget_report.get("exhausted_at_ms")
+    if exhausted_at is None:
+        return []
+    anomaly = {
+        "type": "budget_exhausted",
+        "lane": "obs",
+        "ts_ms": exhausted_at,
+        "target_miss_rate": budget_report["target_miss_rate"],
+        "allowed_misses": budget_report["allowed_misses"],
+        "consumed_fraction": budget_report["consumed_fraction"],
+        "severity": budget_report["consumed_fraction"],
+    }
+    if emit and tracer is not None and getattr(tracer, "enabled", False):
+        tracer.event(
+            "anomaly.budget_exhausted",
+            lane="obs",
+            ts_ms=exhausted_at,
+            target_miss_rate=anomaly["target_miss_rate"],
+            consumed_fraction=anomaly["consumed_fraction"],
+        )
+    return [anomaly]
+
+
+# ----------------------------------------------------------------------
+# Per-session state timelines from serve.* events
+# ----------------------------------------------------------------------
+_ACTIVITY_EVENTS = {
+    "serve.admit": "admits",
+    "serve.reject": "rejects",
+    "serve.shed": "sheds",
+}
+
+
+def session_timelines(tracer, duration_ms: float | None = None) -> list[dict]:
+    """Reconstruct each session's serving trajectory from the trace.
+
+    Every ``serve.*`` event carrying a ``session`` attribute feeds one
+    per-session record: activity counts (admits/rejects/sheds), the
+    degrade -> recover transition list (each session starts ``normal``
+    at t=0), time spent degraded, and the final state.  Sessions appear
+    in index order; a fleet whose trace has no ``serve.*`` events yields
+    an empty list.
+    """
+    sessions: dict[int, dict] = {}
+
+    def entry(index: int) -> dict:
+        record = sessions.get(index)
+        if record is None:
+            record = sessions[index] = {
+                "session": index,
+                "admits": 0,
+                "rejects": 0,
+                "sheds": 0,
+                "degrades": 0,
+                "recovers": 0,
+                "transitions": [{"ts_ms": 0.0, "state": "normal"}],
+            }
+        return record
+
+    for event in sorted(tracer.events, key=lambda e: (e.ts_ms, e.seq)):
+        index = event.attrs.get("session")
+        if index is None or not event.name.startswith("serve."):
+            continue
+        record = entry(int(index))
+        counter_key = _ACTIVITY_EVENTS.get(event.name)
+        if counter_key is not None:
+            record[counter_key] += 1
+        elif event.name == "serve.degrade":
+            record["degrades"] += 1
+            record["transitions"].append(
+                {"ts_ms": round(event.ts_ms, 6), "state": "degraded"}
+            )
+        elif event.name == "serve.recover":
+            record["recovers"] += 1
+            record["transitions"].append(
+                {"ts_ms": round(event.ts_ms, 6), "state": "normal"}
+            )
+
+    timelines = []
+    for index in sorted(sessions):
+        record = sessions[index]
+        transitions = record["transitions"]
+        record["final_state"] = transitions[-1]["state"]
+        if duration_ms is not None:
+            degraded_ms = 0.0
+            for pos, transition in enumerate(transitions):
+                if transition["state"] != "degraded":
+                    continue
+                end = (
+                    transitions[pos + 1]["ts_ms"]
+                    if pos + 1 < len(transitions)
+                    else duration_ms
+                )
+                degraded_ms += max(0.0, end - transition["ts_ms"])
+            record["degraded_ms"] = round(degraded_ms, 6)
+            record["degraded_fraction"] = round(
+                degraded_ms / duration_ms if duration_ms else 0.0, 6
+            )
+        timelines.append(record)
+    return timelines

@@ -42,12 +42,16 @@ class MetricPolicy:
 
 # Policies are matched on the final path component.  Latencies gate at
 # 5% with a 0.25 ms floor; rates at an absolute 2-point floor; bytes at
-# 10%/2 KiB; IoU (higher-is-better) at 2%/0.005.
+# 10%/2 KiB; IoU (higher-is-better) at 2%/0.005.  Error-budget burn
+# gates at a coarse grain (burn rates are ratios of small counts, so
+# they get a wide 0.5 absolute floor; consumed fraction a 5-point one).
 _MS_POLICY = MetricPolicy(False, 0.05, 0.25)
 _RATE_POLICY = MetricPolicy(False, 0.10, 0.02)
 _BYTES_POLICY = MetricPolicy(False, 0.10, 2048.0)
 _STREAK_POLICY = MetricPolicy(False, 0.25, 2.0)
 _IOU_POLICY = MetricPolicy(True, 0.02, 0.005)
+_BUDGET_POLICY = MetricPolicy(False, 0.10, 0.05)
+_BURN_POLICY = MetricPolicy(False, 0.25, 0.5)
 
 
 def policy_for(path: str) -> MetricPolicy | None:
@@ -59,6 +63,10 @@ def policy_for(path: str) -> MetricPolicy | None:
         return _STREAK_POLICY
     if leaf in ("bytes_up", "bytes_down"):
         return _BYTES_POLICY
+    if leaf == "consumed_fraction":
+        return _BUDGET_POLICY
+    if leaf.endswith("_burn_rate"):
+        return _BURN_POLICY
     if leaf == "miss_rate" or leaf.startswith("false_rate"):
         return _RATE_POLICY
     if leaf.endswith("_ms"):
@@ -98,6 +106,15 @@ def iter_metric_paths(payload: dict):
         ):
             if key in slo:
                 yield f"{scenario_name}.slo.{key}", float(slo[key])
+        budget = scenario.get("budget", {})
+        for key in (
+            "consumed_fraction",
+            "max_fast_burn_rate",
+            "max_slow_burn_rate",
+        ):
+            # NaN (empty trace) is not comparable — skip it.
+            if key in budget and budget[key] == budget[key]:
+                yield f"{scenario_name}.budget.{key}", float(budget[key])
         for stage_name in sorted(scenario.get("stages", {})):
             stats = scenario["stages"][stage_name]
             for key in ("mean_ms", "p50_ms", "p90_ms", "p99_ms"):

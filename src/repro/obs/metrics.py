@@ -50,13 +50,31 @@ class Counter:
 
 @dataclass
 class Gauge:
-    """A last-value instrument."""
+    """A last-value instrument with a cheap running envelope.
+
+    Besides the last-written value, a gauge tracks the running min/max
+    of everything ever written and counts *changes* (writes that moved
+    the value), so timeline snapshots and ops reports can show an
+    envelope and a change count without replaying the trace.
+    """
 
     name: str
     value: float = 0.0
+    min_value: float = float("inf")
+    max_value: float = float("-inf")
+    changes: int = 0
+    last_change: float = 0.0  # delta applied by the most recent change
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        value = float(value)
+        if value != self.value or self.changes == 0:
+            self.last_change = value - self.value
+            self.changes += 1
+        self.value = value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
 
 
 @dataclass
@@ -167,6 +185,20 @@ class MetricsRegistry:
             )
         return instrument
 
+    def counter_values(self) -> dict[str, float]:
+        """Current counter totals, ordered by name (cheap — no
+        histogram quantile work; the timeline sampler calls this every
+        tick)."""
+        return {
+            name: self._counters[name].value for name in sorted(self._counters)
+        }
+
+    def gauge_values(self) -> dict[str, float]:
+        """Current gauge values, ordered by name."""
+        return {
+            name: self._gauges[name].value for name in sorted(self._gauges)
+        }
+
     def snapshot(self) -> dict:
         """JSON-serializable state, deterministically ordered by name."""
         return {
@@ -175,7 +207,13 @@ class MetricsRegistry:
                 for name in sorted(self._counters)
             },
             "gauges": {
-                name: self._gauges[name].value for name in sorted(self._gauges)
+                name: {
+                    "value": g.value,
+                    "min": g.min_value if g.changes else g.value,
+                    "max": g.max_value if g.changes else g.value,
+                    "changes": g.changes,
+                }
+                for name, g in sorted(self._gauges.items())
             },
             "histograms": {
                 name: {
@@ -201,6 +239,10 @@ class _NullInstrument:
     count = 0
     total = 0.0
     mean = 0.0
+    min_value = 0.0
+    max_value = 0.0
+    changes = 0
+    last_change = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
         pass
@@ -235,6 +277,12 @@ class _NullMetricsRegistry:
 
     def histogram(self, name, buckets=None) -> _NullInstrument:
         return _NULL_INSTRUMENT
+
+    def counter_values(self) -> dict:
+        return {}
+
+    def gauge_values(self) -> dict:
+        return {}
 
     def snapshot(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}

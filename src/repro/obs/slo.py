@@ -41,9 +41,14 @@ def exact_percentile(samples, pct: float) -> float:
     Unlike :meth:`Histogram.percentile` this retains every sample, so it
     is exact; use it where the sample set is small enough to keep (one
     entry per frame or per stage invocation).
+
+    An empty sample set has no percentiles: the result is ``math.nan``,
+    never an ``IndexError`` and never a fabricated 0.0 (which would read
+    as "zero latency" in a report).  A single sample is every percentile
+    of itself.
     """
     if not samples:
-        return 0.0
+        return math.nan
     ordered = sorted(samples)
     if len(ordered) == 1:
         return float(ordered[0])
@@ -123,11 +128,13 @@ def evaluate_slo(
             streak = 0
 
     frames = len(spans)
+    # NaN policy: rates and percentiles of an empty trace are undefined
+    # (math.nan), matching exact_percentile — counts stay honest zeros.
     return {
         "budget_ms": round(budget_ms, 6),
         "frames": frames,
         "misses": misses,
-        "miss_rate": round(misses / frames, 6) if frames else 0.0,
+        "miss_rate": round(misses / frames, 6) if frames else math.nan,
         "worst_streak": worst_streak,
         "total_over_ms": round(total_over, 6),
         "max_over_ms": round(max_over, 6),

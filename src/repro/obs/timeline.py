@@ -1,0 +1,271 @@
+"""Fixed-interval time-series sampling of the metrics registry.
+
+Scalar metrics answer "what happened over the whole run"; the ROADMAP's
+autoscaling and chaos items need "what was happening at t".  This module
+adds that axis without touching the hot path: a
+:class:`TimelineSampler` is ticked once per simulated frame by the
+pipeline and, whenever the simulated clock crosses a fixed sampling
+boundary, snapshots every registered counter and gauge into
+ring-buffered :class:`TimelineSeries`.
+
+Everything runs on the simulated clock, so two identical runs produce
+byte-identical timelines.  Sample timestamps sit on the fixed grid
+``t0 + k * interval_ms`` regardless of frame jitter, which makes series
+from different runs directly comparable column by column.
+
+On top of the series sit the anomaly detectors — latency spikes against
+an EWMA baseline and sustained monotonic queue growth — which emit
+first-class ``anomaly.*`` trace events when handed a live tracer, so
+anomalies land in the same JSONL/Chrome exports as the signals that
+caused them (:mod:`repro.obs.budget` adds the budget-exhaustion
+detector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "DEFAULT_SAMPLE_INTERVAL_MS",
+    "TimelineSeries",
+    "TimelineSampler",
+    "detect_latency_spikes",
+    "detect_queue_growth",
+]
+
+# Three samples per 30 fps frame interval would oversample a per-frame
+# simulation; one sample per ~3 frames keeps series compact while still
+# resolving queue ramps and degrade episodes.
+DEFAULT_SAMPLE_INTERVAL_MS = 100.0
+
+
+@dataclass
+class TimelineSeries:
+    """One instrument's ring-buffered fixed-interval sample history."""
+
+    name: str
+    kind: str  # "counter" | "gauge"
+    interval_ms: float
+    capacity: int
+    times_ms: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+    dropped: int = 0  # samples evicted by the ring bound
+
+    def append(self, ts_ms: float, value: float) -> None:
+        self.times_ms.append(float(ts_ms))
+        self.values.append(float(value))
+        if len(self.values) > self.capacity:
+            del self.times_ms[0]
+            del self.values[0]
+            self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def last(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-clean form (timestamps/values rounded for stable files)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "interval_ms": round(self.interval_ms, 6),
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "times_ms": [round(t, 6) for t in self.times_ms],
+            "values": [round(v, 6) for v in self.values],
+        }
+
+
+class TimelineSampler:
+    """Snapshots the registry's counters and gauges on a fixed grid.
+
+    The pipeline calls :meth:`tick` with the current simulated time once
+    per frame; the sampler takes one snapshot per crossed sampling
+    boundary (timestamped *on* the boundary, so the grid is exact even
+    when frame times straddle it).  Series appear lazily the first time
+    their instrument exists at a boundary; earlier boundaries are not
+    backfilled.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        interval_ms: float = DEFAULT_SAMPLE_INTERVAL_MS,
+        capacity: int = 2048,
+    ):
+        if interval_ms <= 0.0:
+            raise ValueError("interval_ms must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.metrics = metrics
+        self.interval_ms = float(interval_ms)
+        self.capacity = int(capacity)
+        self.series: dict[str, TimelineSeries] = {}
+        self.samples_taken = 0
+        self._next_sample_ms: float | None = None
+
+    # ------------------------------------------------------------------
+    def tick(self, now_ms: float) -> int:
+        """Advance to ``now_ms``; returns how many samples were taken."""
+        now_ms = float(now_ms)
+        if self._next_sample_ms is None:
+            self._next_sample_ms = now_ms  # grid anchors at first tick
+        taken = 0
+        while now_ms >= self._next_sample_ms:
+            self._sample(self._next_sample_ms)
+            self._next_sample_ms += self.interval_ms
+            taken += 1
+        return taken
+
+    def _sample(self, ts_ms: float) -> None:
+        for kind, values in (
+            ("counter", self.metrics.counter_values()),
+            ("gauge", self.metrics.gauge_values()),
+        ):
+            for name, value in values.items():
+                series = self.series.get(name)
+                if series is None:
+                    series = self.series[name] = TimelineSeries(
+                        name, kind, self.interval_ms, self.capacity
+                    )
+                series.append(ts_ms, value)
+        self.samples_taken += 1
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> TimelineSeries | None:
+        return self.series.get(name)
+
+    def to_dict(self) -> dict:
+        """All series, deterministically ordered by instrument name."""
+        return {
+            "interval_ms": round(self.interval_ms, 6),
+            "capacity": self.capacity,
+            "samples_taken": self.samples_taken,
+            "series": {
+                name: self.series[name].to_dict()
+                for name in sorted(self.series)
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Anomaly detectors
+# ----------------------------------------------------------------------
+def _emit(tracer, anomaly: dict) -> None:
+    """Mirror one detected anomaly as a first-class trace event."""
+    if tracer is None or not getattr(tracer, "enabled", False):
+        return
+    attrs = {
+        k: v
+        for k, v in anomaly.items()
+        if k not in ("type", "lane", "ts_ms", "frame")
+    }
+    tracer.event(
+        f"anomaly.{anomaly['type']}",
+        lane=anomaly.get("lane", "obs"),
+        ts_ms=anomaly["ts_ms"],
+        frame=anomaly.get("frame"),
+        **attrs,
+    )
+
+
+def detect_latency_spikes(
+    tracer,
+    spike_factor: float = 3.0,
+    min_ms: float = 5.0,
+    alpha: float = 0.3,
+    warmup_frames: int = 0,
+    emit: bool = False,
+) -> list[dict]:
+    """Frame latencies that spike above their per-lane EWMA baseline.
+
+    Walks each client lane's frame spans in time order keeping an
+    exponential moving average; a frame whose latency exceeds
+    ``spike_factor`` times the baseline (and an absolute ``min_ms``
+    floor, so sub-millisecond wobble never pages) is an anomaly.  The
+    EWMA updates *after* the check and also absorbs the spike, so a
+    sustained plateau alerts once at its leading edge rather than every
+    frame.
+    """
+    from .slo import frame_latency_spans
+
+    spans = frame_latency_spans(tracer, warmup_frames=warmup_frames)
+    baselines: dict[str, float] = {}
+    anomalies: list[dict] = []
+    for span in sorted(spans, key=lambda s: (s.start_ms, s.lane)):
+        baseline = baselines.get(span.lane)
+        if baseline is not None:
+            threshold = max(spike_factor * baseline, min_ms)
+            if span.dur_ms > threshold:
+                anomalies.append(
+                    {
+                        "type": "latency_spike",
+                        "lane": span.lane,
+                        "frame": span.frame,
+                        "ts_ms": round(span.start_ms, 6),
+                        "latency_ms": round(span.dur_ms, 6),
+                        "baseline_ms": round(baseline, 6),
+                        "severity": round(span.dur_ms / max(baseline, 1e-9), 6),
+                    }
+                )
+            baselines[span.lane] = (1.0 - alpha) * baseline + alpha * span.dur_ms
+        else:
+            baselines[span.lane] = span.dur_ms
+    if emit:
+        for anomaly in anomalies:
+            _emit(tracer, anomaly)
+    return anomalies
+
+
+def detect_queue_growth(
+    sampler: TimelineSampler | None,
+    series_name: str = "serve.queue_depth",
+    min_run: int = 4,
+    min_growth: float = 2.0,
+    tracer=None,
+    emit: bool = False,
+) -> list[dict]:
+    """Sustained monotonic growth of a queue-depth series.
+
+    A run of at least ``min_run`` consecutive non-decreasing samples
+    (with at least one strict increase per step counted over the run)
+    whose net growth reaches ``min_growth`` is the signature of demand
+    outrunning service capacity — the signal the ROADMAP's autoscaler
+    consumes.  One anomaly per maximal run, anchored at the run's end.
+    """
+    if sampler is None:
+        return []
+    series = sampler.get(series_name)
+    if series is None or len(series) < min_run:
+        return []
+    anomalies: list[dict] = []
+    run_start = 0
+    for index in range(1, len(series) + 1):
+        ended = index == len(series) or series.values[index] < series.values[index - 1]
+        if not ended:
+            continue
+        length = index - run_start
+        growth = series.values[index - 1] - series.values[run_start]
+        if length >= min_run and growth >= min_growth:
+            anomalies.append(
+                {
+                    "type": "queue_growth",
+                    "lane": "serve",
+                    "ts_ms": round(series.times_ms[index - 1], 6),
+                    "series": series_name,
+                    "from_depth": round(series.values[run_start], 6),
+                    "to_depth": round(series.values[index - 1], 6),
+                    "samples": length,
+                    "severity": round(growth, 6),
+                }
+            )
+        run_start = index
+    if emit:
+        for anomaly in anomalies:
+            _emit(tracer, anomaly)
+    return anomalies

@@ -67,6 +67,7 @@ class MultiClientPipeline:
         min_gt_area: int = 200,
         tracer: Tracer | None = None,
         deadline_budget_ms: float | None = None,
+        sampler=None,
     ):
         if not sessions:
             raise ValueError("MultiClientPipeline needs at least one session")
@@ -94,10 +95,17 @@ class MultiClientPipeline:
         backend = self.scheduler if self.scheduler is not None else self.server
         if self.tracer.enabled and not backend.tracer.enabled:
             backend.attach_tracer(self.tracer)
+        # Optional repro.obs.timeline.TimelineSampler, ticked once per
+        # frame tick so fleet gauges become fixed-interval time series.
+        self.sampler = sampler
         metrics = self.tracer.metrics
         self._m_frames = metrics.counter("pipeline.frames")
         self._m_deadline_miss = metrics.counter("pipeline.deadline_miss")
         self._h_frame_latency = metrics.histogram("pipeline.frame_latency_ms")
+        # Fleet-wide live gauges for the timeline sampler.
+        self._g_latency_ewma = metrics.gauge("pipeline.frame_latency_ewma_ms")
+        self._g_pending = metrics.gauge("pipeline.pending_deliveries")
+        self._latency_ewma: float | None = None
         # One client+channel lane pair per device, one shared server lane.
         for index, session in enumerate(self.sessions):
             session.client_lane = f"client{index}"
@@ -125,6 +133,11 @@ class MultiClientPipeline:
                 self._step_session(
                     session, session_index, frame_index, now, frame_interval
                 )
+            self._g_pending.set(
+                sum(len(session.pending) for session in self.sessions)
+            )
+            if self.sampler is not None:
+                self.sampler.tick(now)
 
         duration = num_frames * frame_interval
         return [
@@ -270,6 +283,11 @@ class MultiClientPipeline:
         )
         self._m_frames.inc()
         self._h_frame_latency.observe(latency)
+        if self._latency_ewma is None:
+            self._latency_ewma = latency
+        else:
+            self._latency_ewma += 0.2 * (latency - self._latency_ewma)
+        self._g_latency_ewma.set(self._latency_ewma)
         if latency > deadline_ms:
             self._m_deadline_miss.inc()
             if tracer.enabled:

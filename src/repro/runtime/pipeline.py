@@ -277,12 +277,16 @@ class Pipeline:
         min_gt_area: int = 200,
         tracer: Tracer | None = None,
         deadline_budget_ms: float | None = None,
+        sampler=None,
     ):
         self.video = video
         self.client = client
         self.channel = channel
         self.server = server
         self.warmup_frames = warmup_frames
+        # Optional repro.obs.timeline.TimelineSampler, ticked once per
+        # frame so gauges/counters become fixed-interval time series.
+        self.sampler = sampler
         # Ground-truth slivers below this pixel count are not measured —
         # video-segmentation datasets do not annotate barely-visible
         # occlusion remnants either.
@@ -297,7 +301,23 @@ class Pipeline:
         self._m_frames = metrics.counter("pipeline.frames")
         self._m_deadline_miss = metrics.counter("pipeline.deadline_miss")
         self._h_frame_latency = metrics.histogram("pipeline.frame_latency_ms")
+        # Live gauges the timeline sampler snapshots: an EWMA of display
+        # latency and the number of results still in flight.
+        self._g_latency_ewma = metrics.gauge("pipeline.frame_latency_ewma_ms")
+        self._g_pending = metrics.gauge("pipeline.pending_deliveries")
+        self._latency_ewma: float | None = None
         self._pending_list: list[_PendingDelivery] = []
+
+    _EWMA_ALPHA = 0.2
+
+    def _observe_latency(self, latency: float, pending_count: int) -> None:
+        """Fold one frame's display latency into the live gauges."""
+        if self._latency_ewma is None:
+            self._latency_ewma = latency
+        else:
+            self._latency_ewma += self._EWMA_ALPHA * (latency - self._latency_ewma)
+        self._g_latency_ewma.set(self._latency_ewma)
+        self._g_pending.set(pending_count)
 
     def run(self) -> RunResult:
         frame_interval = 1000.0 / self.video.fps
@@ -374,6 +394,7 @@ class Pipeline:
             # budget behind capture is a first-class miss event.
             self._m_frames.inc()
             self._h_frame_latency.observe(latency)
+            self._observe_latency(latency, len(self._pending_list))
             if latency > deadline_ms:
                 self._m_deadline_miss.inc()
                 if tracer.enabled:
@@ -410,6 +431,8 @@ class Pipeline:
                     num_rendered=len(last_masks),
                 )
             )
+            if self.sampler is not None:
+                self.sampler.tick(now)
 
         # Flush deliveries for bookkeeping completeness (not measured).
         duration = len(self.video) * frame_interval

@@ -176,6 +176,7 @@ class FleetScheduler:
         self._m_recover = metrics.counter("serve.recover")
         self._g_queue_depth = metrics.gauge("serve.queue_depth")
         self._g_shed_rate = metrics.gauge("serve.shed_rate")
+        self._g_degraded = metrics.gauge("serve.degraded_sessions")
         self._g_utilization = [
             metrics.gauge(f"serve.server{replica.index}.utilization")
             for replica in self.pool.replicas
@@ -303,6 +304,7 @@ class FleetScheduler:
                     session=recovered,
                     queue_depth=depth,
                 )
+        self._g_degraded.set(len(self.degrade.degraded_sessions()))
         return outcomes
 
     # ------------------------------------------------------------------

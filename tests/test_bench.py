@@ -38,7 +38,9 @@ def degraded_payload():
     return run_suite("micro", "slow", degrade=3.0)
 
 
-def synthetic_payload(label="base", infer_p50=400.0, iou=0.9, miss=0.1):
+def synthetic_payload(
+    label="base", infer_p50=400.0, iou=0.9, miss=0.1, burn=1.0, consumed=0.4
+):
     """A handcrafted minimal BENCH payload for comparator unit tests."""
     return {
         "schema_version": SCHEMA_VERSION,
@@ -64,6 +66,12 @@ def synthetic_payload(label="base", infer_p50=400.0, iou=0.9, miss=0.1):
                     "latency_p99_ms": 40.0,
                     "total_over_ms": 12.0,
                     "max_over_ms": 6.0,
+                },
+                "budget": {
+                    "target_miss_rate": 0.05,
+                    "consumed_fraction": consumed,
+                    "max_fast_burn_rate": burn,
+                    "max_slow_burn_rate": burn * 0.8,
                 },
                 "stages": {
                     "server/server.infer": {
@@ -127,6 +135,19 @@ class TestBenchPayload:
         assert offload["counters"]["server.requests"] >= 1
         assert offload["counters"]["pipeline.frames"] == 80
 
+    def test_budget_section(self, micro_payload):
+        assert micro_payload["slo_target"] == 0.05
+        budget = micro_payload["scenarios"]["wifi5-walk"]["budget"]
+        # The artifact embeds the lean scalar form, never the series.
+        assert "burn_series" not in budget
+        assert budget["frames"] == 50
+        assert budget["allowed_misses"] == pytest.approx(2.5)
+        assert budget["misses"] <= budget["frames"]
+        assert budget["max_fast_burn_rate"] >= budget["fast_burn_rate"]
+        assert budget["max_slow_burn_rate"] >= budget["slow_burn_rate"]
+        if budget["misses"] > budget["allowed_misses"]:
+            assert budget["exhausted_at_ms"] is not None
+
     def test_environment_fingerprint(self, micro_payload):
         env = micro_payload["environment"]
         assert env == environment_fingerprint()
@@ -157,11 +178,37 @@ class TestComparePolicies:
         assert policy_for("x.slo.miss_rate") is not None
         assert policy_for("x.offload.offload_count") is None
 
+    def test_budget_policies(self):
+        assert not policy_for("x.budget.consumed_fraction").higher_is_better
+        assert not policy_for("x.budget.max_fast_burn_rate").higher_is_better
+        assert policy_for("x.budget.max_slow_burn_rate") is not None
+        assert policy_for("x.budget.target_miss_rate") is None
+
     def test_identical_payloads_all_neutral(self):
         report = compare_payloads(synthetic_payload(), synthetic_payload())
         assert report["regressed"] == []
         assert report["improved"] == []
         assert report["neutral_count"] == len(report["metrics"])
+
+    def test_budget_burn_regression_fails_gate(self):
+        report = compare_payloads(
+            synthetic_payload(), synthetic_payload(burn=4.0, consumed=1.6)
+        )
+        assert "cell.budget.max_fast_burn_rate" in report["regressed"]
+        assert "cell.budget.consumed_fraction" in report["regressed"]
+
+    def test_budget_burn_floor_suppresses_wobble(self):
+        # 1.0 -> 1.3 burn: 30% relative but under the 0.5 absolute floor.
+        report = compare_payloads(synthetic_payload(), synthetic_payload(burn=1.3))
+        assert not any("burn_rate" in p for p in report["regressed"])
+
+    def test_nan_budget_metrics_skipped(self):
+        old, new = synthetic_payload(), synthetic_payload()
+        old["scenarios"]["cell"]["budget"]["consumed_fraction"] = float("nan")
+        report = compare_payloads(old, new)
+        paths = [entry["metric"] for entry in report["metrics"]]
+        assert "cell.budget.consumed_fraction" not in paths
+        assert "cell.budget.consumed_fraction" in report["added"]
 
     def test_regression_names_stage(self):
         report = compare_payloads(

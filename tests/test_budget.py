@@ -1,0 +1,174 @@
+"""Tests for SLO error budgets: burn-rate windows, budget arithmetic,
+the exhaustion anomaly, and per-session serve timelines."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    BurnRateTracker,
+    Tracer,
+    detect_budget_exhaustion,
+    evaluate_error_budget,
+    session_timelines,
+)
+
+
+def frame_tracer(durations, interval_ms=33.0):
+    """One top-level client frame span per duration."""
+    tracer = Tracer()
+    for frame, dur in enumerate(durations):
+        tracer.add_span(
+            "client.process",
+            lane="client",
+            frame=frame,
+            start_ms=frame * interval_ms,
+            dur_ms=float(dur),
+        )
+    return tracer
+
+
+class TestBurnRateTracker:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window_ms"):
+            BurnRateTracker(0.0, 0.1)
+        with pytest.raises(ValueError, match="target"):
+            BurnRateTracker(100.0, 0.0)
+        with pytest.raises(ValueError, match="target"):
+            BurnRateTracker(100.0, 1.5)
+
+    def test_burn_is_windowed_miss_rate_over_target(self):
+        tracker = BurnRateTracker(100.0, 0.5)
+        assert tracker.burn_rate == 0.0
+        tracker.record(0.0, True)
+        assert tracker.burn_rate == pytest.approx(2.0)  # 1/1 over 0.5
+        tracker.record(50.0, False)
+        assert tracker.burn_rate == pytest.approx(1.0)  # 1/2 over 0.5
+        # 0.0 and 50.0 age out of the 100 ms window.
+        tracker.record(151.0, False)
+        assert tracker.burn_rate == 0.0
+
+    def test_burn_one_means_on_target(self):
+        tracker = BurnRateTracker(1000.0, 0.25)
+        for tick in range(8):
+            tracker.record(tick * 10.0, tick % 4 == 0)
+        assert tracker.burn_rate == pytest.approx(1.0)
+
+
+class TestEvaluateErrorBudget:
+    def test_arithmetic_and_exhaustion_instant(self):
+        # 20 frames at 5% target: budget = 1 miss.  Misses at frames 10
+        # and 12 -> the budget is exhausted on the SECOND miss.
+        durations = [20.0] * 20
+        durations[10] = durations[12] = 50.0
+        report = evaluate_error_budget(frame_tracer(durations))
+        assert report["frames"] == 20
+        assert report["misses"] == 2
+        assert report["allowed_misses"] == pytest.approx(1.0)
+        assert report["consumed_fraction"] == pytest.approx(2.0)
+        assert report["remaining_fraction"] == 0.0
+        assert report["exhausted_at_ms"] == pytest.approx(12 * 33.0)
+        assert report["max_fast_burn_rate"] > 0.0
+        assert report["max_slow_burn_rate"] > 0.0
+        series = report["burn_series"]
+        assert len(series["times_ms"]) == 20
+        assert len(series["fast"]) == len(series["slow"]) == 20
+        json.dumps(report)  # JSON-clean
+
+    def test_within_budget_never_exhausts(self):
+        durations = [20.0] * 40
+        durations[5] = 50.0  # one miss, 5% of 40 allows 2
+        report = evaluate_error_budget(frame_tracer(durations))
+        assert report["misses"] == 1
+        assert report["exhausted_at_ms"] is None
+        assert report["consumed_fraction"] == pytest.approx(0.5)
+        assert report["remaining_fraction"] == pytest.approx(0.5)
+
+    def test_fast_window_decays_faster_than_slow(self):
+        # A burst of misses early, then clean: the fast window must
+        # return to zero while the slow window still remembers.
+        durations = [50.0] * 4 + [20.0] * 36
+        report = evaluate_error_budget(frame_tracer(durations))
+        assert report["fast_burn_rate"] == 0.0
+        assert report["slow_burn_rate"] > 0.0
+
+    def test_empty_trace_nan_policy(self):
+        report = evaluate_error_budget(Tracer())
+        assert report["frames"] == 0
+        assert report["misses"] == 0
+        assert math.isnan(report["consumed_fraction"])
+        assert math.isnan(report["fast_burn_rate"])
+        assert math.isnan(report["max_slow_burn_rate"])
+        assert report["exhausted_at_ms"] is None
+        assert report["burn_series"]["times_ms"] == []
+
+    def test_warmup_frames_excluded(self):
+        durations = [500.0] * 10 + [20.0] * 10
+        report = evaluate_error_budget(
+            frame_tracer(durations), warmup_frames=10
+        )
+        assert report["frames"] == 10
+        assert report["misses"] == 0
+
+
+class TestBudgetExhaustionAnomaly:
+    def test_no_anomaly_within_budget(self):
+        assert detect_budget_exhaustion({"exhausted_at_ms": None}) == []
+
+    def test_anomaly_and_emit(self):
+        durations = [50.0] * 10
+        tracer = frame_tracer(durations)
+        report = evaluate_error_budget(tracer)
+        anomalies = detect_budget_exhaustion(report, tracer=tracer, emit=True)
+        assert len(anomalies) == 1
+        anomaly = anomalies[0]
+        assert anomaly["type"] == "budget_exhausted"
+        assert anomaly["ts_ms"] == report["exhausted_at_ms"]
+        assert anomaly["severity"] == report["consumed_fraction"]
+        events = [
+            e for e in tracer.events if e.name == "anomaly.budget_exhausted"
+        ]
+        assert len(events) == 1
+
+
+def serve_tracer():
+    tracer = Tracer()
+    tracer.event("serve.admit", lane="serve", ts_ms=10.0, session=0)
+    tracer.event("serve.reject", lane="serve", ts_ms=20.0, session=1)
+    tracer.event("serve.degrade", lane="serve", ts_ms=20.0, session=1)
+    tracer.event("serve.shed", lane="serve", ts_ms=40.0, session=0)
+    tracer.event("serve.recover", lane="serve", ts_ms=120.0, session=1)
+    tracer.event("serve.degrade", lane="serve", ts_ms=150.0, session=1)
+    # Events without a session attr (or outside serve.*) are ignored.
+    tracer.event("serve.queue", lane="serve", ts_ms=10.0)
+    tracer.event("pipeline.tick", lane="client", ts_ms=10.0, session=0)
+    return tracer
+
+
+class TestSessionTimelines:
+    def test_counts_and_transitions(self):
+        timelines = session_timelines(serve_tracer(), duration_ms=200.0)
+        assert [t["session"] for t in timelines] == [0, 1]
+        s0, s1 = timelines
+        assert (s0["admits"], s0["sheds"], s0["rejects"]) == (1, 1, 0)
+        assert s0["final_state"] == "normal"
+        assert s0["degraded_ms"] == 0.0
+        assert s1["rejects"] == 1
+        assert s1["degrades"] == 2
+        assert s1["recovers"] == 1
+        states = [t["state"] for t in s1["transitions"]]
+        assert states == ["normal", "degraded", "normal", "degraded"]
+        # degraded 20..120 plus 150..200 = 150 ms of 200.
+        assert s1["degraded_ms"] == pytest.approx(150.0)
+        assert s1["degraded_fraction"] == pytest.approx(0.75)
+        assert s1["final_state"] == "degraded"
+        json.dumps(timelines)
+
+    def test_no_serve_events_yields_empty(self):
+        assert session_timelines(Tracer()) == []
+
+    def test_without_duration_no_degraded_time(self):
+        timelines = session_timelines(serve_tracer())
+        assert "degraded_ms" not in timelines[0]
+        assert timelines[1]["final_state"] == "degraded"

@@ -2,6 +2,7 @@
 exporters, trace determinism and the disabled-path guarantees."""
 
 import json
+import math
 
 import numpy as np
 import pytest
@@ -50,6 +51,36 @@ class TestMetricsRegistry:
         assert counter.value == 5
         registry.gauge("depth").set(3)
         assert registry.gauge("depth").value == 3.0
+
+    def test_gauge_envelope(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        assert gauge.changes == 0
+        gauge.set(3.0)
+        gauge.set(7.0)
+        gauge.set(7.0)  # no-op write: not a change
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+        assert gauge.min_value == 1.0
+        assert gauge.max_value == 7.0
+        assert gauge.changes == 3
+        assert gauge.last_change == -6.0
+        snap = registry.snapshot()["gauges"]["depth"]
+        assert snap == {"value": 1.0, "min": 1.0, "max": 7.0, "changes": 3}
+
+    def test_unwritten_gauge_snapshot_collapses_envelope(self):
+        registry = MetricsRegistry()
+        registry.gauge("idle")
+        snap = registry.snapshot()["gauges"]["idle"]
+        assert snap == {"value": 0.0, "min": 0.0, "max": 0.0, "changes": 0}
+
+    def test_registry_value_views(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc()
+        registry.gauge("g").set(4.5)
+        assert registry.counter_values() == {"a": 1, "b": 2}
+        assert registry.gauge_values() == {"g": 4.5}
 
     def test_histogram_quantiles(self):
         hist = Histogram("lat", buckets=(1.0, 2.0, 5.0, 10.0))
@@ -330,11 +361,21 @@ class TestHistogramPercentile:
 
 
 class TestExactPercentile:
-    def test_empty(self):
-        assert exact_percentile([], 50.0) == 0.0
+    def test_empty_is_nan(self):
+        assert math.isnan(exact_percentile([], 50.0))
+        assert math.isnan(exact_percentile([], 99.0))
 
     def test_single_sample(self):
         assert exact_percentile([7.5], 99.0) == 7.5
+        assert exact_percentile([7.5], 0.0) == 7.5
+
+    def test_empty_slo_report_is_nan(self):
+        report = evaluate_slo(Tracer())
+        assert report["frames"] == 0
+        assert report["misses"] == 0
+        assert math.isnan(report["miss_rate"])
+        assert math.isnan(report["latency_p50_ms"])
+        assert math.isnan(report["latency_p99_ms"])
 
     def test_interpolation(self):
         samples = list(range(1, 11))  # 1..10
@@ -365,7 +406,7 @@ class TestEmptyTracerExports:
     def test_evaluate_slo_empty(self):
         report = evaluate_slo(Tracer())
         assert report["frames"] == 0
-        assert report["miss_rate"] == 0.0
+        assert math.isnan(report["miss_rate"])
         assert report["worst_streak"] == 0
         assert report["attribution"] == {}
 

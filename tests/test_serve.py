@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro.model import SimulatedSegmentationModel
+from repro.obs import Tracer, session_timelines
 from repro.runtime.interface import OffloadRequest
 from repro.runtime.pipeline import EdgeServer
 from repro.serve import (
@@ -333,6 +334,81 @@ class TestFleetScheduler:
         assert stats["submitted"] == 0
         assert stats["per_server"][0]["utilization"] == 0.0
         json.dumps(stats)  # JSON-clean
+
+    def test_recover_under_sustained_saturation_redegrades_cleanly(self):
+        """A session recovered while the system is still saturated must
+        re-degrade on its next rejection, with the degrade -> recover ->
+        degrade trajectory fully mirrored in serve.* events, counters,
+        and the reconstructed session timeline."""
+        tracer = Tracer()
+        scheduler = self.make_scheduler(
+            admission=AdmissionConfig(queue_limit=1, reject_infeasible=False),
+            # recover_depth above the queue bound: recovery fires even
+            # though the queue never drains — the saturation trap.
+            degrade=DegradeConfig(
+                failure_threshold=1, min_degraded_ms=50.0, recover_depth=8
+            ),
+            tracer=tracer,
+        )
+        request = OffloadRequest(frame_index=0, payload_bytes=1000, encode_ms=5.0)
+
+        # t=0: session 0 fills the single queue slot; session 1 is
+        # rejected and degrades immediately (threshold 1).
+        scheduler.submit(0, request, [], (120, 160), 0.0, 5.0, 33.0, 0.0)
+        scheduler.submit(1, request, [], (120, 160), 0.0, 6.0, 33.0, 0.0)
+        assert scheduler.is_degraded(1)
+
+        # The first item reaches the GPU and occupies it for hundreds of
+        # ms; refill the queue so it stays full through the recovery.
+        scheduler.advance(10.0)
+        scheduler.submit(0, request, [], (120, 160), 20.0, 25.0, 33.0, 20.0)
+
+        # t=60: min_degraded_ms elapsed, depth (1) <= recover_depth (8)
+        # -> session 1 recovers while the queue is still full...
+        scheduler.advance(60.0)
+        assert not scheduler.is_degraded(1)
+
+        # ...so its next submit is rejected again and re-degrades.
+        admitted, status = scheduler.submit(
+            1, request, [], (120, 160), 60.0, 66.0, 33.0, 60.0
+        )
+        assert not admitted and status == REJECT_QUEUE_FULL
+        assert scheduler.is_degraded(1)
+
+        # Events, counters and the degrade stats must all agree.
+        names = [
+            e.name
+            for e in tracer.events
+            if e.attrs.get("session") == 1 and e.name.startswith("serve.")
+        ]
+        assert names == [
+            "serve.reject",
+            "serve.degrade",
+            "serve.recover",
+            "serve.reject",
+            "serve.degrade",
+        ]
+        assert tracer.metrics.counter("serve.degrade").value == 2
+        assert tracer.metrics.counter("serve.recover").value == 1
+        stats = scheduler.degrade.stats()
+        assert stats["degrade_events"] == 2
+        assert stats["recover_events"] == 1
+        assert stats["degraded_at_end"] == [1]
+
+        # The ops-report reconstruction sees the same trajectory.
+        timeline = next(
+            t for t in session_timelines(tracer, duration_ms=100.0)
+            if t["session"] == 1
+        )
+        assert [t["state"] for t in timeline["transitions"]] == [
+            "normal",
+            "degraded",
+            "normal",
+            "degraded",
+        ]
+        assert timeline["final_state"] == "degraded"
+        assert timeline["degrades"] == 2
+        assert timeline["recovers"] == 1
 
 
 class TestClientCapabilities:

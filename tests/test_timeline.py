@@ -1,0 +1,215 @@
+"""Tests for the timeline sampler: fixed-grid sampling, ring bounds,
+pipeline wiring, and the latency-spike / queue-growth detectors."""
+
+import pytest
+
+from repro.eval import ExperimentSpec, run_experiment
+from repro.obs import (
+    MetricsRegistry,
+    TimelineSampler,
+    TimelineSeries,
+    Tracer,
+    detect_latency_spikes,
+    detect_queue_growth,
+)
+
+
+class TestTimelineSeries:
+    def test_ring_evicts_oldest(self):
+        series = TimelineSeries("q", "gauge", 1.0, capacity=3)
+        for tick in range(5):
+            series.append(float(tick), float(tick * 10))
+        assert len(series) == 3
+        assert series.times_ms == [2.0, 3.0, 4.0]
+        assert series.values == [20.0, 30.0, 40.0]
+        assert series.dropped == 2
+        assert series.last == 40.0
+
+    def test_to_dict_is_json_clean(self):
+        series = TimelineSeries("q", "counter", 0.5, capacity=8)
+        series.append(0.123456789, 1.987654321)
+        payload = series.to_dict()
+        assert payload["name"] == "q"
+        assert payload["kind"] == "counter"
+        assert payload["times_ms"] == [0.123457]
+        assert payload["values"] == [1.987654]
+        assert payload["dropped"] == 0
+
+
+class TestTimelineSampler:
+    def test_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="interval_ms"):
+            TimelineSampler(registry, interval_ms=0.0)
+        with pytest.raises(ValueError, match="capacity"):
+            TimelineSampler(registry, interval_ms=1.0, capacity=0)
+
+    def test_samples_on_fixed_grid(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        sampler = TimelineSampler(registry, interval_ms=100.0)
+        gauge.set(1.0)
+        assert sampler.tick(0.0) == 1  # grid anchors at the first tick
+        gauge.set(2.0)
+        # 0.0 was sampled; crossing 100 and 200 takes two more samples,
+        # timestamped on the boundaries (not at 250).
+        assert sampler.tick(250.0) == 2
+        series = sampler.get("depth")
+        assert series.times_ms == [0.0, 100.0, 200.0]
+        assert series.values == [1.0, 2.0, 2.0]
+        # No boundary crossed: no sample.
+        assert sampler.tick(260.0) == 0
+        assert sampler.samples_taken == 3
+
+    def test_counters_and_gauges_sampled_with_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("frames").inc(3)
+        registry.gauge("depth").set(2.0)
+        sampler = TimelineSampler(registry, interval_ms=10.0)
+        sampler.tick(0.0)
+        assert sampler.get("frames").kind == "counter"
+        assert sampler.get("depth").kind == "gauge"
+
+    def test_series_appear_lazily_without_backfill(self):
+        registry = MetricsRegistry()
+        registry.gauge("early").set(1.0)
+        sampler = TimelineSampler(registry, interval_ms=10.0)
+        sampler.tick(0.0)
+        registry.gauge("late").set(5.0)
+        sampler.tick(10.0)
+        assert len(sampler.get("early")) == 2
+        assert sampler.get("late").times_ms == [10.0]
+
+    def test_to_dict_sorted(self):
+        registry = MetricsRegistry()
+        registry.gauge("b").set(1.0)
+        registry.gauge("a").set(2.0)
+        sampler = TimelineSampler(registry, interval_ms=10.0)
+        sampler.tick(0.0)
+        payload = sampler.to_dict()
+        assert list(payload["series"]) == ["a", "b"]
+        assert payload["interval_ms"] == 10.0
+        assert payload["samples_taken"] == 1
+
+
+class TestPipelineWiring:
+    def test_experiment_produces_timeline(self):
+        spec = ExperimentSpec(
+            system="edgeis",
+            num_frames=40,
+            resolution=(160, 120),
+            warmup_frames=10,
+            trace=True,
+            sample_interval_ms=100.0,
+        )
+        outcome = run_experiment(spec)
+        sampler = outcome.sampler
+        assert sampler is not None
+        assert sampler.samples_taken > 0
+        ewma = sampler.get("pipeline.frame_latency_ewma_ms")
+        assert ewma is not None and len(ewma) > 0
+        # Timestamps sit on the fixed grid anchored at the first tick.
+        anchor = ewma.times_ms[0]
+        for ts in ewma.times_ms:
+            assert (ts - anchor) % 100.0 == pytest.approx(0.0)
+
+    def test_no_sampler_without_interval(self):
+        spec = ExperimentSpec(
+            system="edgeis", num_frames=10, resolution=(160, 120), trace=True
+        )
+        assert run_experiment(spec).sampler is None
+
+
+def spike_tracer():
+    tracer = Tracer()
+    for frame in range(6):
+        dur = 100.0 if frame == 5 else 10.0
+        tracer.add_span(
+            "client.process",
+            lane="client",
+            frame=frame,
+            start_ms=frame * 33.0,
+            dur_ms=dur,
+        )
+    return tracer
+
+
+class TestLatencySpikeDetector:
+    def test_detects_spike_over_ewma_baseline(self):
+        anomalies = detect_latency_spikes(spike_tracer())
+        assert len(anomalies) == 1
+        anomaly = anomalies[0]
+        assert anomaly["type"] == "latency_spike"
+        assert anomaly["frame"] == 5
+        assert anomaly["latency_ms"] == 100.0
+        assert anomaly["baseline_ms"] == pytest.approx(10.0)
+        assert anomaly["severity"] == pytest.approx(10.0)
+
+    def test_no_spike_on_flat_series(self):
+        tracer = Tracer()
+        for frame in range(10):
+            tracer.add_span(
+                "client.process",
+                lane="client",
+                frame=frame,
+                start_ms=frame * 33.0,
+                dur_ms=10.0,
+            )
+        assert detect_latency_spikes(tracer) == []
+
+    def test_min_ms_floor_suppresses_tiny_spikes(self):
+        tracer = Tracer()
+        for frame, dur in enumerate((0.5, 0.5, 3.0)):
+            tracer.add_span(
+                "client.process",
+                lane="client",
+                frame=frame,
+                start_ms=frame * 33.0,
+                dur_ms=dur,
+            )
+        # 3.0 is 6x the 0.5 baseline but under the 5 ms absolute floor.
+        assert detect_latency_spikes(tracer) == []
+
+    def test_emit_mirrors_anomaly_as_trace_event(self):
+        tracer = spike_tracer()
+        detect_latency_spikes(tracer, emit=True)
+        events = [e for e in tracer.events if e.name == "anomaly.latency_spike"]
+        assert len(events) == 1
+        assert events[0].attrs["latency_ms"] == 100.0
+
+
+def growth_sampler(values, interval=100.0, name="serve.queue_depth"):
+    registry = MetricsRegistry()
+    gauge = registry.gauge(name)
+    sampler = TimelineSampler(registry, interval_ms=interval)
+    for tick, value in enumerate(values):
+        gauge.set(float(value))
+        sampler.tick(tick * interval)
+    return sampler
+
+
+class TestQueueGrowthDetector:
+    def test_detects_sustained_growth(self):
+        sampler = growth_sampler([0, 1, 2, 3, 4, 1])
+        anomalies = detect_queue_growth(sampler)
+        assert len(anomalies) == 1
+        anomaly = anomalies[0]
+        assert anomaly["type"] == "queue_growth"
+        assert anomaly["from_depth"] == 0.0
+        assert anomaly["to_depth"] == 4.0
+        assert anomaly["samples"] == 5
+        assert anomaly["ts_ms"] == 400.0
+
+    def test_short_or_shallow_runs_ignored(self):
+        assert detect_queue_growth(growth_sampler([0, 1, 2, 0, 1, 2])) == []
+        assert detect_queue_growth(growth_sampler([0, 0, 1, 1, 1, 1])) == []
+
+    def test_none_sampler_and_missing_series(self):
+        assert detect_queue_growth(None) == []
+        assert detect_queue_growth(growth_sampler([0, 5], name="other")) == []
+
+    def test_emit_mirrors_into_tracer(self):
+        tracer = Tracer()
+        sampler = growth_sampler([0, 1, 2, 3, 4])
+        detect_queue_growth(sampler, tracer=tracer, emit=True)
+        assert [e.name for e in tracer.events] == ["anomaly.queue_growth"]
