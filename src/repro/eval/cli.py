@@ -238,6 +238,8 @@ def _cmd_serve(args) -> int:
         queue_limit=args.queue_limit,
         deadline_horizon=args.horizon,
         degrade=not args.no_degrade,
+        batch_window_ms=args.batch_window_ms,
+        max_batch_size=args.max_batch_size,
         warmup_frames=args.warmup,
         seed=args.seed,
         trace=True,
@@ -283,6 +285,14 @@ def _cmd_serve(args) -> int:
             f"recoveries={degrade['recover_events']} "
             f"degraded_at_end={degrade['degraded_at_end']}"
         )
+        batching = serve_stats.get("batching")
+        if batching is not None:
+            print(
+                "batching: window={window_ms:g} ms max_size={max_size} "
+                "batches={batches} items={batched_items} "
+                "mean_size={mean_batch_size:.2f} "
+                "saved={batch_saved_ms:.1f} ms".format(**batching)
+            )
         for entry in serve_stats["per_server"]:
             print(
                 f"server{entry['index']}:  completed={entry['completed']} "
@@ -324,8 +334,25 @@ def _cmd_bench_run(args) -> int:
             "worst streak",
         ],
     )
+    kernel_table = Table(
+        f"kernels [{args.label}]",
+        ["kernel", "n", "vectorized µs", "reference µs", "speedup", "equiv"],
+    )
+    have_kernels = False
     for name in sorted(payload["scenarios"]):
         scenario = payload["scenarios"][name]
+        kernel = scenario.get("kernel")
+        if kernel is not None:
+            have_kernels = True
+            kernel_table.add_row(
+                kernel.get("name", name),
+                kernel.get("n", 0),
+                kernel.get("vectorized_us", "-"),
+                kernel.get("reference_us", "-"),
+                kernel.get("speedup_x", "-"),
+                "yes" if kernel.get("equivalent") else "NO",
+            )
+            continue
         slo = scenario["slo"]
         table.add_row(
             name,
@@ -337,6 +364,8 @@ def _cmd_bench_run(args) -> int:
             slo["worst_streak"],
         )
     table.print()
+    if have_kernels:
+        kernel_table.print()
     print(f"wrote  {path}")
     return 0
 
@@ -505,6 +534,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-degrade",
         action="store_true",
         help="disable MAMT-fallback degradation on reject/shed",
+    )
+    serve_parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=0.0,
+        help="how long a replica may hold a servable request open for co-riders",
+    )
+    serve_parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=1,
+        help="cross-session batch size cap (1 disables batching)",
     )
     serve_parser.add_argument(
         "--system", default="baseline+mamt", choices=SYSTEM_NAMES + ABLATION_NAMES

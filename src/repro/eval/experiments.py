@@ -27,7 +27,7 @@ from ..obs.trace import NULL_TRACER, Tracer
 from ..runtime.multi import ClientSession, MultiClientPipeline
 from ..runtime.pipeline import EdgeServer, Pipeline, RunResult
 from ..runtime.resources import DEVICE_POWER, ResourceMonitor
-from ..serve import AdmissionConfig, DegradeConfig, FleetScheduler
+from ..serve import AdmissionConfig, BatchConfig, DegradeConfig, FleetScheduler
 from ..synthetic.datasets import make_complexity_scene, make_dataset
 from ..synthetic.world import SyntheticVideo
 
@@ -253,6 +253,14 @@ class FleetSpec:
     degrade_min_ms: float = 300.0
     degrade_recover_depth: int = 1
     deadline_budget_ms: float | None = None
+    # Cross-session batching (repro.serve.batching): a replica may hold a
+    # servable request up to ``batch_window_ms`` to coalesce compatible
+    # queued requests into one batch of at most ``max_batch_size``.
+    # ``max_batch_size=1`` disables batching and reproduces the unbatched
+    # fleet byte-for-byte.
+    batch_window_ms: float = 0.0
+    max_batch_size: int = 1
+    batch_alpha: float = 0.8
     warmup_frames: int = 10
     seed: int = 0
     trace: bool = False
@@ -337,6 +345,11 @@ def run_fleet(spec: FleetSpec) -> FleetOutcome:
             ),
             num_sessions=spec.num_clients,
             tracer=tracer,
+            batching=BatchConfig(
+                window_ms=spec.batch_window_ms,
+                max_size=spec.max_batch_size,
+                alpha=spec.batch_alpha,
+            ),
         )
         backend = scheduler
     else:

@@ -21,7 +21,9 @@ __all__ = ["SCHEMA_VERSION", "Table", "format_cdf", "result_payload", "save_json
 # ``repro bench compare`` refuses to diff mismatched versions.
 # v3: scenarios carry an error-budget section (``budget``) gated by
 # ``repro bench compare``; suite payloads record ``slo_target``.
-SCHEMA_VERSION = 3
+# v4: kernel micro cells (``kernel`` section, gated ``speedup_x``);
+# fleet cells carry batching spec/stats and ``serve.batch.*`` counters.
+SCHEMA_VERSION = 4
 
 
 @dataclass

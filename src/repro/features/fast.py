@@ -12,7 +12,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Keypoint", "fast_corners", "corner_score_map", "grid_select"]
+__all__ = [
+    "Keypoint",
+    "arc_run_at_least",
+    "fast_corners",
+    "corner_score_map",
+    "grid_select",
+]
 
 # Bresenham circle of radius 3: 16 (row, col) offsets in order.
 _CIRCLE = np.array(
@@ -61,8 +67,13 @@ def _circle_stack(gray: np.ndarray) -> np.ndarray:
     return stack
 
 
-def _max_consecutive_true(flags: np.ndarray) -> np.ndarray:
-    """Longest circular run of True along axis 0 of a (16, ...) stack."""
+def _max_consecutive_true_reference(flags: np.ndarray) -> np.ndarray:
+    """Longest circular run of True along axis 0 of a (16, ...) stack.
+
+    Scalar reference for :func:`arc_run_at_least`: 2x16 interpreter steps
+    over the full image, kept for equivalence tests and the ``micro``
+    kernel bench (``fast.arc_run``).
+    """
     doubled = np.concatenate([flags, flags], axis=0).astype(np.int8)
     best = np.zeros(flags.shape[1:], dtype=np.int8)
     run = np.zeros(flags.shape[1:], dtype=np.int8)
@@ -70,6 +81,68 @@ def _max_consecutive_true(flags: np.ndarray) -> np.ndarray:
         run = (run + 1) * doubled[k]
         best = np.maximum(best, run)
     return np.minimum(best, 16)
+
+
+# Max circular run length for every 16-bit circle pattern, built lazily
+# from the scalar reference so the two can never drift.  65536 uint8
+# entries = 64 KiB, resident for the life of the process.
+_ARC_RUN_LUT: np.ndarray | None = None
+
+
+def _arc_run_lut() -> np.ndarray:
+    global _ARC_RUN_LUT
+    if _ARC_RUN_LUT is None:
+        patterns = np.arange(1 << 16, dtype=np.uint32)
+        # Bit layout: flags[k] lands in bit (15 - k) of the packed uint16,
+        # matching the shift-or pack in :func:`arc_run_at_least`.
+        bits = ((patterns[None, :] >> (15 - np.arange(16)[:, None])) & 1).astype(
+            bool
+        )
+        _ARC_RUN_LUT = _max_consecutive_true_reference(bits).astype(np.uint8)
+    return _ARC_RUN_LUT
+
+
+# float32 is exact for these sums (< 2**24), and a float matmul packs the
+# whole stack through BLAS on the rare dense inputs.
+_PACK_WEIGHTS = (1 << np.arange(15, -1, -1)).astype(np.float32)
+
+
+def arc_run_at_least(flags: np.ndarray, arc_length: int) -> np.ndarray:
+    """True where a circular run of >= ``arc_length`` True exists (axis 0).
+
+    The vectorized FAST segment test.  A run of ``arc_length`` set flags
+    needs at least that many set in total, so a single ``sum`` pass
+    prefilters the (few) candidate pixels; only those get their 16 circle
+    flags packed into a uint16 and the run length becomes one gather from
+    a 64 KiB table.  Bit-equivalent with
+    :func:`_max_consecutive_true_reference` (the table is built from it)
+    while replacing its 32-step scan over the full image with one pass
+    plus work proportional to the candidate count.
+    """
+    if flags.shape[0] != 16:
+        raise ValueError("arc_run_at_least expects a (16, ...) flag stack")
+    inner_shape = flags.shape[1:]
+    flat = flags.reshape(16, -1)
+    out = np.zeros(flat.shape[1], dtype=bool)
+    counts = flat.sum(axis=0, dtype=np.uint8)
+    candidates = np.flatnonzero(counts >= arc_length)
+    if candidates.size:
+        lut = _arc_run_lut()
+        if candidates.size * 4 >= flat.shape[1]:
+            # Dense flags: one BLAS pack of every column beats per-plane
+            # gathers.
+            packed = (_PACK_WEIGHTS @ flat.astype(np.float32)).astype(
+                np.uint16
+            )
+            out = lut[packed] >= arc_length
+        else:
+            packed = np.zeros(candidates.size, dtype=np.uint16)
+            for k in range(16):
+                packed |= flat[k].take(candidates).astype(
+                    np.uint16
+                ) << np.uint16(15 - k)
+            out[candidates] = lut[packed] >= arc_length
+    return out.reshape(inner_shape)
 
 
 def corner_score_map(
@@ -92,8 +165,8 @@ def corner_score_map(
 
     brighter = stack > center[None] + threshold
     darker = stack < center[None] - threshold
-    is_corner = (_max_consecutive_true(brighter) >= arc_length) | (
-        _max_consecutive_true(darker) >= arc_length
+    is_corner = arc_run_at_least(brighter, arc_length) | arc_run_at_least(
+        darker, arc_length
     )
 
     diffs = np.abs(stack - center[None]) - threshold

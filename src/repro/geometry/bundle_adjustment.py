@@ -41,16 +41,16 @@ class PnPResult:
         return int(self.inlier_mask.sum())
 
 
-def _residuals_and_jacobian(
+def _residuals_and_jacobian_reference(
     camera: PinholeCamera,
     pose_cw: SE3,
     points_world: np.ndarray,
     pixels: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Stacked 2N residuals and the (2N, 6) Jacobian w.r.t. a left twist.
+    """Per-point reference for :func:`_residuals_and_jacobian`.
 
-    The update convention is ``T <- exp(xi) @ T`` with twist ordering
-    (rho, omega), so d(P_c)/d(xi) = [I | -skew(P_c)].
+    Assembles the rotational Jacobian block one :func:`skew` matrix at a
+    time — kept for equivalence tests and the ``ba.jacobian`` micro cell.
     """
     points_camera = pose_cw.transform(points_world)
     depths = points_camera[:, 2]
@@ -80,6 +80,61 @@ def _residuals_and_jacobian(
     jacobian_point[:, 2, 2] = 1.0
     for i in range(count):
         jacobian_point[i, :, 3:] = -skew(points_camera[i])
+
+    jacobian = np.einsum("nij,njk->nik", jacobian_pixel, jacobian_point)
+    return residuals, jacobian, valid
+
+
+def _residuals_and_jacobian(
+    camera: PinholeCamera,
+    pose_cw: SE3,
+    points_world: np.ndarray,
+    pixels: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stacked 2N residuals and the (2N, 6) Jacobian w.r.t. a left twist.
+
+    The update convention is ``T <- exp(xi) @ T`` with twist ordering
+    (rho, omega), so d(P_c)/d(xi) = [I | -skew(P_c)].  The rotational
+    block is written column-slice-wise over the whole batch — no
+    per-point :func:`skew` calls (see
+    :func:`_residuals_and_jacobian_reference`).
+    """
+    points_camera = pose_cw.transform(points_world)
+    depths = points_camera[:, 2]
+    valid = depths > 1e-6
+    safe_z = np.where(valid, depths, 1.0)
+
+    u = camera.fx * points_camera[:, 0] / safe_z + camera.cx
+    v = camera.fy * points_camera[:, 1] / safe_z + camera.cy
+    residuals = np.stack([u - pixels[:, 0], v - pixels[:, 1]], axis=1)
+
+    inv_z = 1.0 / safe_z
+    x_over_z = points_camera[:, 0] * inv_z
+    y_over_z = points_camera[:, 1] * inv_z
+
+    count = len(points_world)
+    # d(pixel)/d(P_c): 2x3 per point.
+    jacobian_pixel = np.zeros((count, 2, 3))
+    jacobian_pixel[:, 0, 0] = camera.fx * inv_z
+    jacobian_pixel[:, 0, 2] = -camera.fx * x_over_z * inv_z
+    jacobian_pixel[:, 1, 1] = camera.fy * inv_z
+    jacobian_pixel[:, 1, 2] = -camera.fy * y_over_z * inv_z
+
+    # d(P_c)/d(xi): 3x6 per point = [I | -skew(P_c)], written as six
+    # batched column assignments: -skew([x,y,z]) = [[0,z,-y],[-z,0,x],[y,-x,0]].
+    x = points_camera[:, 0]
+    y = points_camera[:, 1]
+    z = points_camera[:, 2]
+    jacobian_point = np.zeros((count, 3, 6))
+    jacobian_point[:, 0, 0] = 1.0
+    jacobian_point[:, 1, 1] = 1.0
+    jacobian_point[:, 2, 2] = 1.0
+    jacobian_point[:, 0, 4] = z
+    jacobian_point[:, 0, 5] = -y
+    jacobian_point[:, 1, 3] = -z
+    jacobian_point[:, 1, 5] = x
+    jacobian_point[:, 2, 3] = y
+    jacobian_point[:, 2, 4] = -x
 
     jacobian = np.einsum("nij,njk->nik", jacobian_pixel, jacobian_point)
     return residuals, jacobian, valid
@@ -206,7 +261,7 @@ def solve_pnp(
         initial_pose_cw = warmup.pose_cw
 
     if ransac_iterations > 0 and count >= 6:
-        from .triangulation import reprojection_errors
+        from .triangulation import reprojection_errors, reprojection_errors_batch
 
         rng = np.random.default_rng(0) if rng is None else rng
         threshold = refine_kwargs.get("inlier_threshold", 4.0)
@@ -216,6 +271,12 @@ def solve_pnp(
             < threshold
         )
         best_inliers = int(best_mask.sum())
+        # Fit every minimal-sample hypothesis first (the rng.choice order
+        # is the contract), then score all of them against the full point
+        # set in one batched reprojection.  argmax picks the first
+        # occurrence of the max count — the same winner the incremental
+        # strictly-greater scan of _score_hypotheses_reference keeps.
+        candidates: list[SE3] = []
         for _ in range(ransac_iterations):
             sample = rng.choice(count, size=6, replace=False)
             try:
@@ -229,15 +290,18 @@ def solve_pnp(
                 )
             except ValueError:  # pragma: no cover
                 continue
-            errors = reprojection_errors(
-                camera.matrix, candidate.pose_cw, points_world, pixels
+            candidates.append(candidate.pose_cw)
+        if candidates:
+            errors = reprojection_errors_batch(
+                camera.matrix, candidates, points_world, pixels
             )
-            mask = errors < threshold
-            inliers = int(mask.sum())
-            if inliers > best_inliers:
-                best_inliers = inliers
-                best_pose = candidate.pose_cw
-                best_mask = mask
+            masks = errors < threshold
+            inlier_counts = masks.sum(axis=1)
+            winner = int(np.argmax(inlier_counts))
+            if int(inlier_counts[winner]) > best_inliers:
+                best_inliers = int(inlier_counts[winner])
+                best_pose = candidates[winner]
+                best_mask = masks[winner]
         # Refine on the consensus set only: refining on all points with a
         # robust kernel can still slide into a dominant-outlier basin
         # (e.g. the mirror solution of a near-planar point cloud).
@@ -269,12 +333,57 @@ def solve_pnp(
     return refine_pose(camera, initial_pose_cw, points_world, pixels, **refine_kwargs)
 
 
+def _score_hypotheses_reference(
+    camera_matrix: np.ndarray,
+    poses_cw: list[SE3],
+    points_world: np.ndarray,
+    pixels: np.ndarray,
+) -> np.ndarray:
+    """Per-candidate scoring loop — the pre-vectorization RANSAC inner
+    loop, kept as reference for ``reprojection_errors_batch``
+    (equivalence tests; ``ba.ransac_score`` micro cell)."""
+    from .triangulation import reprojection_errors
+
+    if not poses_cw:
+        return np.zeros((0, len(points_world)))
+    return np.stack(
+        [
+            reprojection_errors(camera_matrix, pose, points_world, pixels)
+            for pose in poses_cw
+        ]
+    )
+
+
 def _initial_pose_guess(points_world: np.ndarray) -> SE3:
     """Crude cold-start guess: camera looking at the point cloud centroid."""
     centroid = points_world.mean(axis=0)
     spread = float(np.max(np.linalg.norm(points_world - centroid, axis=1)))
     eye = centroid - np.array([0.0, 0.0, max(3.0 * spread, 1.0)])
     return SE3.look_at(eye, centroid)
+
+
+def _dlt_rows_reference(
+    normalized: np.ndarray, homogeneous: np.ndarray
+) -> np.ndarray:
+    """Per-correspondence DLT row assembly — scalar reference for
+    :func:`_dlt_rows` (``ba.dlt_rows`` micro cell)."""
+    rows = []
+    for (x, y), point_h in zip(normalized, homogeneous):
+        rows.append(np.concatenate([point_h, np.zeros(4), -x * point_h]))
+        rows.append(np.concatenate([np.zeros(4), point_h, -y * point_h]))
+    return np.asarray(rows)
+
+
+def _dlt_rows(normalized: np.ndarray, homogeneous: np.ndarray) -> np.ndarray:
+    """Interleaved (2N, 12) DLT constraint matrix, assembled by four
+    strided block writes instead of 2N concatenations."""
+    count = len(homogeneous)
+    rows = np.zeros((2 * count, 12))
+    rows[0::2, 0:4] = homogeneous
+    rows[0::2, 8:12] = -normalized[:, :1] * homogeneous
+    rows[1::2, 4:8] = homogeneous
+    rows[1::2, 8:12] = -normalized[:, 1:2] * homogeneous
+    return rows
 
 
 def dlt_pose(
@@ -292,11 +401,7 @@ def dlt_pose(
         raise ValueError("dlt_pose needs >= 6 correspondences")
     normalized = camera.normalize(pixels)
     homogeneous = np.column_stack([points_world, np.ones(len(points_world))])
-    rows = []
-    for (x, y), point_h in zip(normalized, homogeneous):
-        rows.append(np.concatenate([point_h, np.zeros(4), -x * point_h]))
-        rows.append(np.concatenate([np.zeros(4), point_h, -y * point_h]))
-    _, _, vt = np.linalg.svd(np.asarray(rows))
+    _, _, vt = np.linalg.svd(_dlt_rows(normalized, homogeneous))
     projection = vt[-1].reshape(3, 4)
     # Fix the overall sign so points land in front of the camera.
     depths = homogeneous @ projection[2]

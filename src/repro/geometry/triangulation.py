@@ -12,7 +12,12 @@ import numpy as np
 
 from .se3 import SE3
 
-__all__ = ["triangulate_dlt", "triangulate_midpoint", "reprojection_errors"]
+__all__ = [
+    "triangulate_dlt",
+    "triangulate_midpoint",
+    "reprojection_errors",
+    "reprojection_errors_batch",
+]
 
 
 def _rays_from_normalized(normalized: np.ndarray) -> np.ndarray:
@@ -130,3 +135,30 @@ def reprojection_errors(
     depths = np.maximum(points_camera[:, 2], 1e-12)
     projected = (points_camera @ camera_matrix.T)[:, :2] / depths[:, None]
     return np.linalg.norm(projected - np.asarray(pixels, dtype=float), axis=1)
+
+
+def reprojection_errors_batch(
+    camera_matrix: np.ndarray,
+    poses_cw: list[SE3],
+    points_world: np.ndarray,
+    pixels: np.ndarray,
+) -> np.ndarray:
+    """:func:`reprojection_errors` for many candidate poses at once.
+
+    Returns a (C, N) matrix of per-pose, per-point error norms.  One
+    broadcasted matmul per stage replaces C full reprojection passes —
+    the RANSAC hypothesis-scoring hot path of
+    :func:`repro.geometry.bundle_adjustment.solve_pnp`.
+    """
+    points_world = np.asarray(points_world, dtype=float)
+    pixels = np.asarray(pixels, dtype=float)
+    if not poses_cw:
+        return np.zeros((0, len(points_world)))
+    rotations = np.stack([pose.rotation for pose in poses_cw])  # (C, 3, 3)
+    translations = np.stack([pose.translation for pose in poses_cw])  # (C, 3)
+    points_camera = (
+        points_world @ rotations.transpose(0, 2, 1) + translations[:, None, :]
+    )
+    depths = np.maximum(points_camera[..., 2], 1e-12)
+    projected = (points_camera @ camera_matrix.T)[..., :2] / depths[..., None]
+    return np.linalg.norm(projected - pixels[None], axis=2)

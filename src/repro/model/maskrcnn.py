@@ -196,30 +196,39 @@ class SimulatedSegmentationModel:
             max_proposals=min(self.cost.base_proposals, budget),
         )
 
-        proposals = rpn_output.proposals
+        num_proposals = rpn_output.num_proposals
         pruning: PruningResult | None = None
-        if instructions and use_roi_pruning and proposals:
-            confidences = self._class_confidences(proposals, instructions, gt_instances)
-            pruning = prune_rois(
-                proposals, instructions, confidences, metrics=self.metrics
+        if instructions and use_roi_pruning and num_proposals:
+            confidences = self._class_confidences(
+                rpn_output.gt_iou, rpn_output.gt_index, instructions, gt_instances
             )
-            rois = pruning.kept
+            # The CIIA pruning walk inspects proposals one at a time —
+            # the only consumer that still materializes the object list.
+            pruning = prune_rois(
+                rpn_output.proposals, instructions, confidences, metrics=self.metrics
+            )
+            num_rois = len(pruning.kept)
+            roi_boxes = (
+                np.stack([r.box for r in pruning.kept])
+                if pruning.kept
+                else np.zeros((0, 4))
+            )
         else:
-            rois = proposals
-        num_rois = len(rois)
+            num_rois = num_proposals
+            roi_boxes = rpn_output.boxes
         self._m_inferences.inc()
         self._m_anchors.inc(rpn_output.anchors_evaluated)
-        self._m_proposals.inc(len(proposals))
+        self._m_proposals.inc(num_proposals)
         self._m_rois.inc(num_rois)
         self._h_location_fraction.observe(rpn_output.location_fraction)
 
         detections = self._emit_detections(
-            truth_masks, rois, image_shape, instructions
+            truth_masks, roi_boxes, image_shape, instructions
         )
 
         rpn_ms = self.device.scale(self.cost.rpn_latency(rpn_output.location_fraction))
         inference_ms = self.device.scale(
-            self.cost.inference_latency(len(proposals), num_rois, len(detections))
+            self.cost.inference_latency(num_proposals, num_rois, len(detections))
         )
         return InferenceResult(
             masks=detections,
@@ -227,14 +236,47 @@ class SimulatedSegmentationModel:
             inference_ms=inference_ms,
             location_fraction=rpn_output.location_fraction,
             anchors_evaluated=rpn_output.anchors_evaluated,
-            num_proposals=len(proposals),
+            num_proposals=num_proposals,
             num_rois=num_rois,
             pruning=pruning,
         )
 
-    def _class_confidences(self, proposals, instructions, gt_instances) -> np.ndarray:
+    def _class_confidences(
+        self, gt_iou, gt_index, instructions, gt_instances
+    ) -> np.ndarray:
         """Confidence of each proposal on its assigned instruction's class
-        (simulated classification head)."""
+        (simulated classification head).
+
+        Vectorized over the RPN's column arrays with one batched noise
+        draw — stream-identical to
+        :meth:`_class_confidences_reference` (a Generator consumes the
+        same values for n scalar draws as for one size-n draw).
+        """
+        base = np.asarray(gt_iou, dtype=float).copy()
+        gt_index = np.asarray(gt_index)
+        if len(gt_instances):
+            match = np.array(
+                [
+                    any(
+                        inst.is_known_object
+                        and inst.class_label == gt.class_label
+                        for inst in instructions
+                    )
+                    for gt in gt_instances
+                ],
+                dtype=bool,
+            )
+            assigned = gt_index >= 0
+            factor = np.where(match[np.maximum(gt_index, 0)], 1.0, 0.6)
+            base[assigned] *= factor[assigned]
+        noise = self._rng.normal(scale=0.05, size=len(base))
+        return np.clip(base + noise, 0.0, 1.0)
+
+    def _class_confidences_reference(
+        self, proposals, instructions, gt_instances
+    ) -> np.ndarray:
+        """Per-proposal scalar reference for :meth:`_class_confidences`
+        (equivalence-tested; ``rpn.confidence`` micro cell)."""
         confidences = np.zeros(len(proposals))
         for index, proposal in enumerate(proposals):
             base = proposal.best_gt_iou
@@ -251,26 +293,30 @@ class SimulatedSegmentationModel:
         return confidences
 
     def _emit_detections(
-        self, truth_masks, rois, image_shape, instructions
+        self, truth_masks, roi_boxes, image_shape, instructions
     ) -> list[InstanceMask]:
-        """Turn covered ground-truth instances into degraded detections."""
+        """Turn covered ground-truth instances into degraded detections.
+
+        ``roi_boxes`` is the (N, 4) array of second-stage boxes; coverage
+        of every ground-truth instance is one IoU matrix instead of a
+        per-instance matrix build.  The per-instance RNG draws stay in
+        instance order, so the sample stream matches the scalar loop.
+        """
         if not truth_masks:
             return []
-        roi_boxes = (
-            np.stack([r.box for r in rois]) if rois else np.zeros((0, 4))
-        )
+        instances = [m for m in truth_masks if m.box is not None]
+        if not instances:
+            return []
+        covered = np.zeros(len(instances), dtype=bool)
+        if len(roi_boxes):
+            boxes = np.array(
+                [i.box for i in instances], dtype=float
+            ).reshape(-1, 4)
+            overlap = box_iou_matrix(boxes, roi_boxes)
+            covered = (overlap >= 0.5).any(axis=1)
         detections: list[InstanceMask] = []
-        for instance in truth_masks:
-            box = instance.box
-            if box is None:
-                continue
-            covered = False
-            if len(roi_boxes):
-                overlap = box_iou_matrix(
-                    np.asarray(box, dtype=float)[None], roi_boxes
-                )[0]
-                covered = bool((overlap >= 0.5).any())
-            if not covered:
+        for index, instance in enumerate(instances):
+            if not covered[index]:
                 continue
             if not self._detected(instance):
                 continue

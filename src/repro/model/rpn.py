@@ -9,7 +9,7 @@ boxes whose count drives the second-stage latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -29,12 +29,64 @@ class Proposal:
     best_gt_iou: float
 
 
+def _assemble_proposals_reference(
+    boxes: np.ndarray,
+    scores: np.ndarray,
+    best_index: np.ndarray,
+    best_iou: np.ndarray,
+) -> list[Proposal]:
+    """Per-box Python assembly of :class:`Proposal` objects.
+
+    Scalar reference for the ``rpn.assemble`` micro cell: the hot path
+    keeps the column arrays in :class:`RPNOutput` and only materializes
+    objects for the CIIA pruning walk.  Idempotent over the background
+    threshold — feeding it an already-thresholded index column leaves
+    the -1 entries untouched (the threshold depends only on ``best_iou``).
+    """
+    return [
+        Proposal(
+            box=boxes[i],
+            objectness=float(scores[i]),
+            best_gt_index=int(best_index[i]) if best_iou[i] >= 0.3 else -1,
+            best_gt_iou=float(best_iou[i]),
+        )
+        for i in range(len(boxes))
+    ]
+
+
 @dataclass
 class RPNOutput:
-    proposals: list[Proposal]
+    """Proposal columns plus anchor bookkeeping.
+
+    Proposals live as parallel arrays (``boxes``/``objectness``/
+    ``gt_index``/``gt_iou``); the :attr:`proposals` property lazily
+    materializes the object list via
+    :func:`_assemble_proposals_reference` for consumers that walk
+    proposals one at a time (CIIA pruning, tests).
+    """
+
+    boxes: np.ndarray  # (N, 4)
+    objectness: np.ndarray  # (N,)
+    gt_index: np.ndarray  # (N,) int, -1 = background
+    gt_iou: np.ndarray  # (N,)
     anchors_evaluated: int
     total_anchors: int
     location_fraction: float
+    _proposal_list: list[Proposal] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def num_proposals(self) -> int:
+        return int(len(self.boxes))
+
+    @property
+    def proposals(self) -> list[Proposal]:
+        if self._proposal_list is None:
+            self._proposal_list = _assemble_proposals_reference(
+                self.boxes, self.objectness, self.gt_index, self.gt_iou
+            )
+        return self._proposal_list
 
 
 def simulate_rpn(
@@ -97,7 +149,10 @@ def simulate_rpn(
 
     if not all_proposal_boxes:
         return RPNOutput(
-            proposals=[],
+            boxes=np.zeros((0, 4)),
+            objectness=np.zeros(0),
+            gt_index=np.zeros(0, dtype=np.int64),
+            gt_iou=np.zeros(0),
             anchors_evaluated=anchors_evaluated,
             total_anchors=anchor_grid.total_anchors,
             location_fraction=0.0,
@@ -116,17 +171,15 @@ def simulate_rpn(
         best_index = np.full(len(boxes), -1)
         best_iou = np.zeros(len(boxes))
 
-    proposals = [
-        Proposal(
-            box=boxes[i],
-            objectness=float(scores[i]),
-            best_gt_index=int(best_index[i]) if best_iou[i] >= 0.3 else -1,
-            best_gt_iou=float(best_iou[i]),
-        )
-        for i in range(len(boxes))
-    ]
+    # Vectorized counterpart of the per-box assembly loop
+    # (_assemble_proposals_reference): the background threshold is one
+    # np.where and the columns stay arrays end to end.
+    gt_index = np.where(best_iou >= 0.3, best_index, -1).astype(np.int64)
     return RPNOutput(
-        proposals=proposals,
+        boxes=boxes,
+        objectness=scores,
+        gt_index=gt_index,
+        gt_iou=best_iou,
         anchors_evaluated=anchors_evaluated,
         total_anchors=anchor_grid.total_anchors,
         location_fraction=locations_evaluated / max(anchor_grid.total_locations, 1),

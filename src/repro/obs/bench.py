@@ -43,6 +43,7 @@ from .trace import Tracer
 __all__ = [
     "BenchScenario",
     "FleetBenchScenario",
+    "KernelBenchScenario",
     "SUITES",
     "environment_fingerprint",
     "stage_percentiles",
@@ -51,6 +52,7 @@ __all__ = [
     "run_suite",
     "bench_filename",
     "dump_bench",
+    "strip_timing",
     "write_bench",
 ]
 
@@ -91,6 +93,24 @@ class FleetBenchScenario(BenchScenario):
     degrade_enabled: bool = True
     degrade_failure_threshold: int = 2
     degrade_min_ms: float = 300.0
+    # Cross-session batching (max_batch_size=1 disables it).
+    batch_window_ms: float = 0.0
+    max_batch_size: int = 1
+    batch_alpha: float = 0.8
+
+
+@dataclass(frozen=True)
+class KernelBenchScenario(BenchScenario):
+    """One vectorized-kernel micro cell (:mod:`repro.obs.kernelbench`).
+
+    Times a vectorized hot-path kernel against its scalar ``*_reference``
+    implementation and emits a ``kernel`` payload section whose
+    ``speedup_x`` is regression-gated.  Wall-clock fields are excluded
+    from the artifact byte-identity contract via :func:`strip_timing`.
+    """
+
+    kernel: str = ""
+    repeats: int = 7
 
 
 # Suite sizing: ``micro`` is one small cell for unit tests and quick local
@@ -103,6 +123,18 @@ SUITES: dict[str, tuple[BenchScenario, ...]] = {
         BenchScenario(
             "wifi5-walk", frames=80, resolution=(160, 120), warmup_frames=30
         ),
+        # One cell per vectorized hot-path kernel (docs/performance.md):
+        # speedup over the scalar reference is the gated metric.
+        KernelBenchScenario("fast.arc_run", kernel="fast.arc_run"),
+        KernelBenchScenario("rpn.assemble", kernel="rpn.assemble"),
+        KernelBenchScenario("rpn.confidence", kernel="rpn.confidence"),
+        KernelBenchScenario("ba.jacobian", kernel="ba.jacobian"),
+        KernelBenchScenario("ba.ransac_score", kernel="ba.ransac_score"),
+        KernelBenchScenario("ba.dlt_rows", kernel="ba.dlt_rows"),
+        KernelBenchScenario(
+            "transfer.contour_depth", kernel="transfer.contour_depth"
+        ),
+        KernelBenchScenario("serve.batch_latency", kernel="serve.batch_latency"),
     ),
     "smoke": (
         BenchScenario(
@@ -143,6 +175,23 @@ SUITES: dict[str, tuple[BenchScenario, ...]] = {
             policy="edf",
             queue_limit=6,
             deadline_horizon=36.0,
+        ),
+        # EDF plus cross-session batching: one GPU amortizes its fixed
+        # per-call cost over requests of different clients.  Same config
+        # as edf-1srv-degrade apart from the batching window; spends less
+        # server busy-ms per completed frame at an equal miss rate (see
+        # tests/test_serve.py::TestBatchingFleet).
+        FleetBenchScenario(
+            "edf-1srv-batch",
+            system="baseline+mamt",
+            frames=60,
+            resolution=(160, 120),
+            warmup_frames=10,
+            policy="edf",
+            queue_limit=6,
+            deadline_horizon=36.0,
+            batch_window_ms=20.0,
+            max_batch_size=3,
         ),
         # Horizontal scaling: two replicas behind least-queue placement.
         FleetBenchScenario(
@@ -240,6 +289,8 @@ def run_scenario_observed(
     from ..eval.experiments import ExperimentSpec, run_experiment
     from ..eval.reporting import result_payload
 
+    if isinstance(scenario, KernelBenchScenario):
+        return _run_kernel_scenario(scenario), {}
     if isinstance(scenario, FleetBenchScenario):
         return _run_fleet_scenario(
             scenario, degrade, budget_ms, slo_target, sample_interval_ms
@@ -303,6 +354,22 @@ def run_scenario_observed(
     return payload, observed
 
 
+def _run_kernel_scenario(scenario: KernelBenchScenario) -> dict:
+    """Run one vectorized-kernel micro cell into its payload section."""
+    from .kernelbench import run_kernel
+
+    return {
+        "spec": {
+            "kernel": scenario.kernel,
+            "repeats": scenario.repeats,
+            "seed": scenario.seed,
+        },
+        "kernel": run_kernel(
+            scenario.kernel, seed=scenario.seed, repeats=scenario.repeats
+        ),
+    }
+
+
 def _run_fleet_scenario(
     scenario: FleetBenchScenario,
     degrade: float = 1.0,
@@ -339,6 +406,9 @@ def _run_fleet_scenario(
         degrade=scenario.degrade_enabled,
         degrade_failure_threshold=scenario.degrade_failure_threshold,
         degrade_min_ms=scenario.degrade_min_ms,
+        batch_window_ms=scenario.batch_window_ms,
+        max_batch_size=scenario.max_batch_size,
+        batch_alpha=scenario.batch_alpha,
         warmup_frames=scenario.warmup_frames,
         seed=scenario.seed,
         trace=True,
@@ -383,6 +453,8 @@ def _run_fleet_scenario(
             "queue_limit": scenario.queue_limit,
             "deadline_horizon": scenario.deadline_horizon,
             "degrade_enabled": scenario.degrade_enabled,
+            "batch_window_ms": scenario.batch_window_ms,
+            "max_batch_size": scenario.max_batch_size,
         },
         "result": {
             "schema_version": _result_schema_version(),
@@ -484,6 +556,23 @@ def dump_bench(payload: dict) -> str:
         json.dumps(payload, sort_keys=True, indent=2, default=_json_default)
         + "\n"
     )
+
+
+def strip_timing(payload: dict) -> dict:
+    """A deep copy of a BENCH payload without the wall-clock fields of
+    kernel cells — the part of the artifact covered by the byte-identity
+    contract (everything a simulated-clock run fully determines)."""
+    from copy import deepcopy
+
+    from .kernelbench import TIMING_KEYS
+
+    stripped = deepcopy(payload)
+    for scenario in stripped.get("scenarios", {}).values():
+        kernel = scenario.get("kernel")
+        if kernel:
+            for key in TIMING_KEYS:
+                kernel.pop(key, None)
+    return stripped
 
 
 def write_bench(payload: dict, out_dir: str | Path) -> Path:

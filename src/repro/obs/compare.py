@@ -52,6 +52,14 @@ _STREAK_POLICY = MetricPolicy(False, 0.25, 2.0)
 _IOU_POLICY = MetricPolicy(True, 0.02, 0.005)
 _BUDGET_POLICY = MetricPolicy(False, 0.10, 0.05)
 _BURN_POLICY = MetricPolicy(False, 0.25, 0.5)
+# Kernel speedups are wall-clock ratios: noise partially cancels in the
+# ratio, but CI machines still wobble — gate only a real collapse (a
+# >=60% relative drop, and at least 1x absolute).  A reverted
+# vectorization drops a 3x+ ratio to ~1 (-67% or worse), which flags;
+# cross-host noise halving a speedup does not.  Note the micro gate must
+# run at threshold scale 1: a drop in a positive ratio is bounded at
+# -100%, so any scale >= 2 makes it ungateable.
+_SPEEDUP_POLICY = MetricPolicy(True, 0.60, 1.0)
 
 
 def policy_for(path: str) -> MetricPolicy | None:
@@ -69,6 +77,8 @@ def policy_for(path: str) -> MetricPolicy | None:
         return _BURN_POLICY
     if leaf == "miss_rate" or leaf.startswith("false_rate"):
         return _RATE_POLICY
+    if leaf == "speedup_x":
+        return _SPEEDUP_POLICY
     if leaf.endswith("_ms"):
         return _MS_POLICY
     return None
@@ -122,6 +132,9 @@ def iter_metric_paths(payload: dict):
                     yield f"{scenario_name}.stages.{stage_name}.{key}", float(
                         stats[key]
                     )
+        kernel = scenario.get("kernel", {})
+        if "speedup_x" in kernel:
+            yield f"{scenario_name}.kernel.speedup_x", float(kernel["speedup_x"])
 
 
 def _classify(
@@ -257,9 +270,25 @@ def render_trend_markdown(entries: list[tuple[str, dict]]) -> str:
     )
     lines.append(header)
     lines.append("|" + "---|" * 11)
+    kernel_rows = []
     for filename, payload in entries:
         for scenario_name in sorted(payload.get("scenarios", {})):
             scenario = payload["scenarios"][scenario_name]
+            kernel = scenario.get("kernel")
+            if kernel is not None:
+                kernel_rows.append(
+                    "| {file} | {name} | {n} | {vec} | {ref} | {speed} |"
+                    " {equiv} |".format(
+                        file=filename,
+                        name=kernel.get("name", scenario_name),
+                        n=kernel.get("n", 0),
+                        vec=kernel.get("vectorized_us", "-"),
+                        ref=kernel.get("reference_us", "-"),
+                        speed=kernel.get("speedup_x", "-"),
+                        equiv="yes" if kernel.get("equivalent") else "NO",
+                    )
+                )
+                continue
             result = scenario.get("result", {})
             slo = scenario.get("slo", {})
             offload = scenario.get("offload", {})
@@ -280,6 +309,22 @@ def render_trend_markdown(entries: list[tuple[str, dict]]) -> str:
                     kib=offload.get("bytes_up", 0) / 1024.0,
                 )
             )
+    if kernel_rows:
+        lines.append("")
+        lines.append("## Kernel micro-benchmarks")
+        lines.append("")
+        lines.append(
+            "Vectorized hot paths vs their scalar `_reference`"
+            " implementations (see [docs/performance.md]"
+            "(../docs/performance.md))."
+        )
+        lines.append("")
+        lines.append(
+            "| artifact | kernel | n | vectorized µs | reference µs |"
+            " speedup | equivalent |"
+        )
+        lines.append("|" + "---|" * 7)
+        lines.extend(kernel_rows)
     lines.append("")
     return "\n".join(lines)
 

@@ -74,7 +74,12 @@ def build_report(
     budgets, session trajectories and anomalies into one report payload
     (a superset of the BENCH scenario sections)."""
     from ..eval.reporting import SCHEMA_VERSION
-    from .bench import SUITES, environment_fingerprint, run_scenario_observed
+    from .bench import (
+        SUITES,
+        KernelBenchScenario,
+        environment_fingerprint,
+        run_scenario_observed,
+    )
 
     if suite not in SUITES:
         raise KeyError(
@@ -82,6 +87,11 @@ def build_report(
         )
     scenarios: dict[str, dict] = {}
     for scenario in SUITES[suite]:
+        if isinstance(scenario, KernelBenchScenario):
+            # Kernel micro cells are gated by `bench compare`, not the
+            # ops console — and their wall-clock fields would break the
+            # report's byte-determinism contract.
+            continue
         payload, observed = run_scenario_observed(
             scenario,
             degrade=degrade,

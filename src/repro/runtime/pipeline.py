@@ -169,31 +169,24 @@ class EdgeServer:
         self._h_infer = metrics.histogram("server.infer_ms")
         self.model.attach_metrics(metrics)
 
-    def submit(
+    def batch_setup_ms(self) -> float:
+        """Fixed per-call cost of one inference pass on this device.
+
+        Calibrates the batched latency model ``setup + k * n**alpha``:
+        the fixed RPN/backbone and second-stage entry costs are paid once
+        per batch, the per-item work ``k`` amortizes sub-linearly.
+        """
+        return self.model.device.scale(
+            self.model.cost.rpn_fixed_ms + self.model.cost.inference_fixed_ms
+        )
+
+    def _infer_one(
         self,
         request: OffloadRequest,
         truth_masks: list[InstanceMask],
         image_shape: tuple[int, int],
-        arrive_ms: float,
-    ) -> tuple[float, list[InstanceMask]]:
-        """Run inference; returns (completion time ms, detections)."""
-        start = max(arrive_ms, self.free_at_ms)
-        tracer = self.tracer
-        if tracer.enabled:
-            if 0.0 < self.free_at_ms < arrive_ms:
-                tracer.add_span(
-                    "server.idle",
-                    lane=self.lane,
-                    start_ms=self.free_at_ms,
-                    dur_ms=arrive_ms - self.free_at_ms,
-                )
-            tracer.event(
-                "server.queue_enter",
-                lane=self.lane,
-                ts_ms=arrive_ms,
-                frame=request.frame_index,
-                was_free=self.is_free_at(arrive_ms),
-            )
+    ):
+        """Model pass + encoded-fidelity degradation for one request."""
         result = self.model.infer(
             truth_masks,
             image_shape,
@@ -222,6 +215,34 @@ class EdgeServer:
                     )
                 degraded.append(detection)
             detections = degraded
+        return result, detections
+
+    def submit(
+        self,
+        request: OffloadRequest,
+        truth_masks: list[InstanceMask],
+        image_shape: tuple[int, int],
+        arrive_ms: float,
+    ) -> tuple[float, list[InstanceMask]]:
+        """Run inference; returns (completion time ms, detections)."""
+        start = max(arrive_ms, self.free_at_ms)
+        tracer = self.tracer
+        if tracer.enabled:
+            if 0.0 < self.free_at_ms < arrive_ms:
+                tracer.add_span(
+                    "server.idle",
+                    lane=self.lane,
+                    start_ms=self.free_at_ms,
+                    dur_ms=arrive_ms - self.free_at_ms,
+                )
+            tracer.event(
+                "server.queue_enter",
+                lane=self.lane,
+                ts_ms=arrive_ms,
+                frame=request.frame_index,
+                was_free=self.is_free_at(arrive_ms),
+            )
+        result, detections = self._infer_one(request, truth_masks, image_shape)
         completion = start + result.total_ms
         self.free_at_ms = completion
         self.busy_ms_total += result.total_ms
@@ -257,6 +278,80 @@ class EdgeServer:
                 **attrs,
             )
         return completion, detections
+
+    def submit_batch(
+        self,
+        entries: list[tuple[OffloadRequest, list[InstanceMask], tuple[int, int], float]],
+        start_ms: float,
+        alpha: float,
+    ) -> tuple[float, list[list[InstanceMask]], list[float]]:
+        """Serve several requests as one batched inference call.
+
+        ``entries`` are ``(request, truth_masks, image_shape, arrive_ms)``
+        tuples; ``start_ms`` is when the scheduler dispatches the batch.
+        Latency follows the calibrated sub-linear model::
+
+            batch_ms = setup + k * n**alpha,   k = mean(solo_ms) - setup
+
+        where ``setup`` (:meth:`batch_setup_ms`) is the device-scaled
+        fixed cost paid once per call and ``solo_ms`` are the per-item
+        latencies the cost model charges when served alone — so a batch
+        of one reproduces the solo latency exactly.  Returns
+        ``(completion_ms, per-item detections, per-item solo_ms)``; every
+        item completes when the batch does.
+        """
+        if not entries:
+            raise ValueError("submit_batch needs at least one entry")
+        start = max(start_ms, self.free_at_ms)
+        tracer = self.tracer
+        results = []
+        all_detections: list[list[InstanceMask]] = []
+        for request, truth_masks, image_shape, arrive_ms in entries:
+            if tracer.enabled:
+                tracer.event(
+                    "server.queue_enter",
+                    lane=self.lane,
+                    ts_ms=arrive_ms,
+                    frame=request.frame_index,
+                    was_free=self.is_free_at(arrive_ms),
+                )
+            result, detections = self._infer_one(
+                request, truth_masks, image_shape
+            )
+            results.append(result)
+            all_detections.append(detections)
+        solo_ms = [result.total_ms for result in results]
+        setup = self.batch_setup_ms()
+        size = len(entries)
+        per_item = max(sum(solo_ms) / size - setup, 0.0)
+        batch_ms = setup + per_item * size**alpha
+        completion = start + batch_ms
+        self.free_at_ms = completion
+        self.busy_ms_total += batch_ms
+        for (request, _, _, arrive_ms), result in zip(entries, results):
+            self._m_requests.inc()
+            self._h_queue_wait.observe(start - arrive_ms)
+            if tracer.enabled:
+                tracer.event(
+                    "server.queue_exit",
+                    lane=self.lane,
+                    ts_ms=start,
+                    frame=request.frame_index,
+                    queue_wait_ms=round(start - arrive_ms, 6),
+                )
+        self._h_infer.observe(batch_ms)
+        if tracer.enabled:
+            tracer.add_span(
+                "server.infer",
+                lane=self.lane,
+                frame=entries[0][0].frame_index,
+                start_ms=start,
+                dur_ms=batch_ms,
+                batch_size=size,
+                setup_ms=round(setup, 6),
+                solo_total_ms=round(sum(solo_ms), 6),
+            )
+        return completion, all_detections, solo_ms
 
     def is_free_at(self, now_ms: float) -> bool:
         """True when a request arriving at ``now_ms`` would start at once

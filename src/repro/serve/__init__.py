@@ -13,6 +13,7 @@ from .admission import (
     AdmissionController,
     AdmissionDecision,
 )
+from .batching import BatchConfig, estimate_batch_ms
 from .degrade import DegradeConfig, DegradeManager, SessionHealth
 from .policy import (
     POLICY_NAMES,
@@ -37,6 +38,8 @@ __all__ = [
     "AdmissionConfig",
     "AdmissionController",
     "AdmissionDecision",
+    "BatchConfig",
+    "estimate_batch_ms",
     "DegradeConfig",
     "DegradeManager",
     "SessionHealth",

@@ -34,6 +34,7 @@ from .admission import (
     AdmissionConfig,
     AdmissionController,
 )
+from .batching import BatchConfig, estimate_batch_ms
 from .degrade import DegradeConfig, DegradeManager
 from .policy import SchedulingPolicy, make_policy
 
@@ -72,18 +73,53 @@ class ServeOutcome:
 class ServerReplica:
     """One ``EdgeServer`` plus its wait queue and latency estimate."""
 
-    def __init__(self, index: int, server: EdgeServer, est_infer_ms: float):
+    def __init__(
+        self,
+        index: int,
+        server: EdgeServer,
+        est_infer_ms: float,
+        batching: BatchConfig | None = None,
+    ):
         self.index = index
         self.server = server
         self.queue: list[ServeItem] = []
         self.est_infer_ms = est_infer_ms
+        self.batching = batching if batching is not None and batching.enabled else None
         self.completed = 0
         self.shed = 0
+        self.batches = 0
+        self.batched_items = 0
+
+    def est_batch_ms(self, size: int) -> float:
+        """Expected service time for a batch of ``size`` on this replica."""
+        assert self.batching is not None
+        return estimate_batch_ms(
+            self.est_infer_ms,
+            self.server.batch_setup_ms(),
+            size,
+            self.batching.alpha,
+        )
+
+    def per_item_est_ms(self) -> float:
+        """Expected per-item service cost of the queued backlog — the
+        amortized full-batch cost when batching is on, the solo estimate
+        otherwise."""
+        if self.batching is None:
+            return self.est_infer_ms
+        size = self.batching.max_size
+        return self.est_batch_ms(size) / size
 
     def backlog_ms(self, now_ms: float) -> float:
-        """Estimated work between now and this replica going idle."""
+        """Estimated work between now and this replica going idle.
+
+        ``free_at_ms`` carries the remaining service time of whatever is
+        in flight — including a running *batch*, whose completion moved
+        it forward in one step — and the queued items are costed at the
+        batching-aware per-item estimate, so ``least_queue`` placement
+        stays accurate when batches amortize the fixed cost.
+        """
         residual = max(0.0, self.server.free_at_ms - now_ms)
-        return residual + self.est_infer_ms * len(self.queue)
+        return residual + self.per_item_est_ms() * len(self.queue)
 
     def observe_infer(self, infer_ms: float, alpha: float) -> None:
         self.est_infer_ms = (1.0 - alpha) * self.est_infer_ms + alpha * infer_ms
@@ -97,12 +133,13 @@ class ServerPool:
         servers: list[EdgeServer],
         policy: SchedulingPolicy | str = "edf",
         est_infer_prior_ms: float = 350.0,
+        batching: BatchConfig | None = None,
     ):
         if not servers:
             raise ValueError("ServerPool needs at least one EdgeServer")
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self.replicas = [
-            ServerReplica(index, server, est_infer_prior_ms)
+            ServerReplica(index, server, est_infer_prior_ms, batching=batching)
             for index, server in enumerate(servers)
         ]
         for replica in self.replicas:
@@ -139,10 +176,17 @@ class FleetScheduler:
         degrade: DegradeConfig | None = None,
         num_sessions: int = 0,
         tracer: Tracer | None = None,
+        batching: BatchConfig | None = None,
     ):
         self.admission = AdmissionController(admission)
+        if batching is not None:
+            batching.validate()
+        self.batching = batching if batching is not None and batching.enabled else None
         self.pool = ServerPool(
-            servers, policy, self.admission.config.est_infer_prior_ms
+            servers,
+            policy,
+            self.admission.config.est_infer_prior_ms,
+            batching=self.batching,
         )
         self.degrade_config = degrade or DegradeConfig()
         self.degrade = DegradeManager(num_sessions, self.degrade_config)
@@ -156,6 +200,9 @@ class FleetScheduler:
             "rejected_infeasible": 0,
             "shed": 0,
             "completed": 0,
+            "batches": 0,
+            "batched_items": 0,
+            "batch_saved_ms": 0.0,
         }
         self.attach_tracer(tracer if tracer is not None else NULL_TRACER)
 
@@ -177,6 +224,10 @@ class FleetScheduler:
         self._g_queue_depth = metrics.gauge("serve.queue_depth")
         self._g_shed_rate = metrics.gauge("serve.shed_rate")
         self._g_degraded = metrics.gauge("serve.degraded_sessions")
+        self._m_batches = metrics.counter("serve.batch.dispatched")
+        self._m_batched_items = metrics.counter("serve.batch.items")
+        self._m_batch_saved = metrics.counter("serve.batch.saved_ms")
+        self._g_batch_size = metrics.gauge("serve.batch.last_size")
         self._g_utilization = [
             metrics.gauge(f"serve.server{replica.index}.utilization")
             for replica in self.pool.replicas
@@ -353,6 +404,10 @@ class FleetScheduler:
                 break
             if chosen is None:
                 continue  # everything arrived was shed; re-evaluate queue
+            if self.batching is not None:
+                if self._dispatch_batch(replica, chosen, pick_ms, now_ms, outcomes, alpha):
+                    continue
+                return  # batch window still open in simulated time
             replica.queue.remove(chosen)
             free_before = replica.server.free_at_ms
             completion, detections = replica.server.submit(
@@ -375,6 +430,121 @@ class FleetScheduler:
                     server_index=replica.index,
                 )
             )
+
+    def _dispatch_batch(
+        self,
+        replica: ServerReplica,
+        head: ServeItem,
+        pick_ms: float,
+        now_ms: float,
+        outcomes: list[ServeOutcome],
+        alpha: float,
+    ) -> bool:
+        """Coalesce compatible queued items behind ``head`` and dispatch.
+
+        Deterministic EDF-aware window: walking the rest of the queue in
+        service order, a joiner is accepted only if it can be on-device
+        before the batch must leave AND growing the batch keeps the
+        estimated completion within *every* member's deadline — batching
+        never induces a deadline miss that solo service would have met.
+        The dispatch instant is ``max(pick, last join, min(window end,
+        urgency cutoff))``; if that lies beyond ``now_ms`` the whole
+        drain defers (any request submitted at a later tick arrives after
+        ``now_ms``, so deferring can only *add* candidates, never reorder
+        committed ones — the byte-identical-schedule property of the
+        unbatched drain carries over).
+
+        Returns True when a batch was dispatched, False to defer.
+        """
+        cfg = replica.batching
+        assert cfg is not None
+        window_end = pick_ms + cfg.window_ms
+        members = [head]
+        join_max = pick_ms  # head already arrived by pick_ms
+        deadline_min = head.deadline_ms
+        downlink = self.admission.config.est_downlink_ms
+
+        def urgency(size: int, deadline: float) -> float:
+            # Latest start for which a batch of ``size`` still makes the
+            # tightest member's deadline (downlink allowance included).
+            return deadline - replica.est_batch_ms(size) - downlink
+
+        # The head is dispatched regardless (shedding was decided above);
+        # its own urgency only bounds how long we are willing to wait.
+        dispatch = max(pick_ms, min(window_end, urgency(1, deadline_min)))
+        joiners = sorted(
+            (item for item in replica.queue if item is not head),
+            key=self.pool.policy.service_key,
+        )
+        for item in joiners:
+            if len(members) >= cfg.max_size:
+                break
+            join = max(item.arrive_ms, pick_ms)
+            if join > dispatch:
+                continue  # cannot be on-device before the batch leaves
+            cand_deadline = min(deadline_min, item.deadline_ms)
+            cand_urgency = urgency(len(members) + 1, cand_deadline)
+            if max(pick_ms, join_max, join) > min(window_end, cand_urgency):
+                continue  # growing the batch would endanger a member
+            members.append(item)
+            join_max = max(join_max, join)
+            deadline_min = cand_deadline
+            dispatch = max(pick_ms, join_max, min(window_end, cand_urgency))
+        if len(members) >= cfg.max_size:
+            dispatch = max(pick_ms, join_max)  # full — leave immediately
+        if dispatch > now_ms:
+            return False
+
+        for item in members:
+            replica.queue.remove(item)
+        free_before = replica.server.free_at_ms
+        completion, detections_list, solo_ms = replica.server.submit_batch(
+            [
+                (item.request, item.truth_masks, item.image_shape, item.arrive_ms)
+                for item in members
+            ],
+            dispatch,
+            cfg.alpha,
+        )
+        batch_ms = completion - max(dispatch, free_before)
+        saved_ms = max(sum(solo_ms) - batch_ms, 0.0)
+        for solo in solo_ms:
+            replica.observe_infer(solo, alpha)
+        size = len(members)
+        replica.completed += size
+        replica.batches += 1
+        replica.batched_items += size
+        self.counts["completed"] += size
+        self.counts["batches"] += 1
+        self.counts["batched_items"] += size
+        self.counts["batch_saved_ms"] += saved_ms
+        self._m_complete.inc(size)
+        self._m_batches.inc()
+        self._m_batched_items.inc(size)
+        self._m_batch_saved.inc(saved_ms)
+        self._g_batch_size.set(size)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "serve.batch.dispatch",
+                lane="serve",
+                ts_ms=dispatch,
+                server=replica.index,
+                size=size,
+                wait_ms=round(dispatch - pick_ms, 6),
+                batch_ms=round(batch_ms, 6),
+                saved_ms=round(saved_ms, 6),
+            )
+        for item, detections in zip(members, detections_list):
+            outcomes.append(
+                ServeOutcome(
+                    kind="complete",
+                    item=item,
+                    masks=detections,
+                    completion_ms=completion,
+                    server_index=replica.index,
+                )
+            )
+        return True
 
     def _note_failure(self, session_index: int, now_ms: float) -> None:
         if self.degrade.on_failure(session_index, now_ms):
@@ -403,6 +573,9 @@ class FleetScheduler:
                 "busy_ms": round(replica.server.busy_ms_total, 6),
                 "est_infer_ms": round(replica.est_infer_ms, 6),
             }
+            if self.batching is not None:
+                entry["batches"] = replica.batches
+                entry["batched_items"] = replica.batched_items
             if duration_ms:
                 entry["utilization"] = round(
                     replica.server.busy_ms_total / duration_ms, 6
@@ -410,7 +583,7 @@ class FleetScheduler:
             per_server.append(entry)
         submitted = self.counts["submitted"]
         shed = self.counts["shed"]
-        return {
+        out = {
             "policy": self.pool.policy.name,
             "num_servers": len(self.pool),
             "queue_limit": self.admission.config.queue_limit,
@@ -426,3 +599,24 @@ class FleetScheduler:
             "degrade": self.degrade.stats(),
             "per_server": per_server,
         }
+        if self.batching is not None:
+            completed = self.counts["completed"]
+            out["batching"] = {
+                "window_ms": self.batching.window_ms,
+                "max_size": self.batching.max_size,
+                "alpha": self.batching.alpha,
+                "batches": self.counts["batches"],
+                "batched_items": self.counts["batched_items"],
+                "batch_saved_ms": round(self.counts["batch_saved_ms"], 6),
+                "mean_batch_size": round(
+                    self.counts["batched_items"] / self.counts["batches"], 6
+                )
+                if self.counts["batches"]
+                else 0.0,
+                "batched_fraction": round(
+                    self.counts["batched_items"] / completed, 6
+                )
+                if completed
+                else 0.0,
+            }
+        return out

@@ -30,9 +30,56 @@ from ..image.masks import InstanceMask
 from ..vo.map import KeyframeRecord
 from ..vo.odometry import VisualOdometry
 
-__all__ = ["TransferConfig", "TransferredMask", "MaskTransferEngine"]
+__all__ = [
+    "TransferConfig",
+    "TransferredMask",
+    "MaskTransferEngine",
+    "contour_depths",
+]
 
 K_NEAREST_FEATURES = 5  # the paper's empirical k
+
+
+def contour_depths(
+    contour_uv: np.ndarray,
+    feature_pixels: np.ndarray,
+    depths: np.ndarray,
+    k: int,
+    tree: cKDTree | None = None,
+) -> np.ndarray:
+    """Mean depth of the k nearest labeled features per contour pixel.
+
+    The paper's small-neighbourhood depth-smoothness estimate, vectorized
+    as one batched cKDTree query.  Pass a prebuilt ``tree`` over
+    ``feature_pixels`` to amortize construction across contours of the
+    same source keyframe.
+    """
+    k = min(k, len(feature_pixels))
+    if tree is None:
+        tree = cKDTree(feature_pixels)
+    _, neighbor_indices = tree.query(contour_uv, k=k)
+    if k == 1:
+        neighbor_indices = neighbor_indices[:, None]
+    return depths[neighbor_indices].mean(axis=1)
+
+
+def _contour_depths_reference(
+    contour_uv: np.ndarray,
+    feature_pixels: np.ndarray,
+    depths: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """Per-pixel scalar k-NN loop — reference for :func:`contour_depths`
+    (equivalence tests; ``transfer.contour_depth`` micro cell).  Matches
+    the vectorized path up to ties in neighbour distance at the k-th
+    rank (measure-zero for float pixel coordinates)."""
+    k = min(k, len(feature_pixels))
+    out = np.empty(len(contour_uv))
+    for index, point in enumerate(contour_uv):
+        distances = np.linalg.norm(feature_pixels - point, axis=1)
+        nearest = np.argsort(distances)[:k]
+        out[index] = depths[nearest].mean()
+    return out
 
 
 @dataclass
@@ -61,6 +108,15 @@ class MaskTransferEngine:
     def __init__(self, camera: PinholeCamera, config: TransferConfig | None = None):
         self.camera = camera
         self.config = config or TransferConfig()
+        # Derived-array caches keyed on LabeledMap.version: the object's
+        # stacked positions per instance, and the projected features +
+        # kd-tree per (source keyframe, instance).  A version bump (point
+        # added/relabeled/culled/refined) invalidates lazily on lookup.
+        self._positions_cache: dict[int, tuple[int, np.ndarray]] = {}
+        self._source_cache: dict[
+            tuple[int, int],
+            tuple[int, tuple[np.ndarray, np.ndarray, cKDTree] | None],
+        ] = {}
 
     # ------------------------------------------------------------------
     def predict(self, vo: VisualOdometry) -> list[TransferredMask]:
@@ -124,6 +180,61 @@ class MaskTransferEngine:
     # ------------------------------------------------------------------
     # Contour transfer (III-C, second problem)
     # ------------------------------------------------------------------
+    def _positions_object(
+        self, vo: VisualOdometry, instance_id: int
+    ) -> np.ndarray:
+        """Stacked (N, 3) object-frame positions, memoized per instance
+        against the map version (the per-call ``np.array([p.position ...])``
+        rebuild was a profiled hot spot)."""
+        version = vo.map.version
+        entry = self._positions_cache.get(instance_id)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        points = [p for p in vo.map.points if p.label == instance_id]
+        positions = (
+            np.array([p.position for p in points])
+            if points
+            else np.zeros((0, 3))
+        )
+        self._positions_cache[instance_id] = (version, positions)
+        return positions
+
+    def _source_features(
+        self,
+        vo: VisualOdometry,
+        record: KeyframeRecord,
+        instance_id: int,
+        source_pose_co,
+    ) -> tuple[np.ndarray, np.ndarray, cKDTree] | None:
+        """(feature_pixels, depths, kd-tree) of the object's points as
+        seen from the source keyframe, memoized per (keyframe, instance)
+        against the map version.  ``object_poses_co`` is fixed at
+        keyframe creation, so the keyframe index is a stable key."""
+        key = (record.frame_index, instance_id)
+        version = vo.map.version
+        entry = self._source_cache.get(key)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        positions_object = self._positions_object(vo, instance_id)
+        value: tuple[np.ndarray, np.ndarray, cKDTree] | None = None
+        if len(positions_object) >= self.config.min_object_features:
+            points_source_cam = source_pose_co.transform(positions_object)
+            depths = points_source_cam[:, 2]
+            in_front = depths > 1e-3
+            if in_front.sum() >= self.config.min_object_features:
+                depths = depths[in_front]
+                feature_pixels, _ = self.camera.project(
+                    points_source_cam[in_front]
+                )
+                value = (feature_pixels, depths, cKDTree(feature_pixels))
+        if len(self._source_cache) >= 128:
+            # Drop stale-version entries before growing further.
+            self._source_cache = {
+                k: v for k, v in self._source_cache.items() if v[0] == version
+            }
+        self._source_cache[key] = (version, value)
+        return value
+
     def _transfer_one(
         self, vo: VisualOdometry, record: KeyframeRecord, instance_id: int
     ) -> np.ndarray | None:
@@ -137,20 +248,10 @@ class MaskTransferEngine:
 
         # Depth sources: the object's map points as seen from the source
         # keyframe (positions are stored in the object frame).
-        object_points = [
-            p for p in vo.map.points if p.label == instance_id
-        ]
-        if len(object_points) < self.config.min_object_features:
+        source = self._source_features(vo, record, instance_id, source_pose_co)
+        if source is None:
             return None
-        positions_object = np.array([p.position for p in object_points])
-        points_source_cam = source_pose_co.transform(positions_object)
-        depths = points_source_cam[:, 2]
-        in_front = depths > 1e-3
-        if in_front.sum() < self.config.min_object_features:
-            return None
-        points_source_cam = points_source_cam[in_front]
-        depths = depths[in_front]
-        feature_pixels, _ = self.camera.project(points_source_cam)
+        feature_pixels, depths, tree = source
 
         contour = largest_contour(mask.mask)
         if contour is None:
@@ -159,15 +260,12 @@ class MaskTransferEngine:
         # Contour is (row, col); features are (u, v) = (col, row).
         contour_uv = contour[:, ::-1]
 
-        tree = cKDTree(feature_pixels)
-        k = min(self.config.k_nearest, len(feature_pixels))
-        _, neighbor_indices = tree.query(contour_uv, k=k)
-        if k == 1:
-            neighbor_indices = neighbor_indices[:, None]
-        contour_depths = depths[neighbor_indices].mean(axis=1)
+        estimated_depths = contour_depths(
+            contour_uv, feature_pixels, depths, self.config.k_nearest, tree=tree
+        )
 
         # Back-project, move, re-project.
-        points_cam_source = self.camera.backproject(contour_uv, contour_depths)
+        points_cam_source = self.camera.backproject(contour_uv, estimated_depths)
         points_cam_current = relative.transform(points_cam_source)
         projected, proj_depths = self.camera.project(points_cam_current)
         visible = proj_depths > 1e-3

@@ -102,6 +102,18 @@ class LabeledMap:
         self._points: dict[int, MapPoint] = {}
         self._keyframes: dict[int, KeyframeRecord] = {}
         self._next_point_id = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped whenever point positions or labels
+        change — consumers (mask transfer) key derived-array caches on it."""
+        return self._version
+
+    def bump_version(self) -> None:
+        """Invalidate caches after mutating a point's ``position`` in
+        place (structure refinement, object re-anchoring)."""
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Points
@@ -125,6 +137,7 @@ class LabeledMap:
         )
         self._points[point.point_id] = point
         self._next_point_id += 1
+        self._version += 1
         return point
 
     def get(self, point_id: int) -> MapPoint:
@@ -164,6 +177,7 @@ class LabeledMap:
         point = self._points[point_id]
         point.label = label
         point.class_label = class_label
+        self._version += 1
 
     def unlabeled_fraction(self) -> float:
         if not self._points:
@@ -226,6 +240,8 @@ class LabeledMap:
                 removed += 1
 
         self._cull_keyframes(current_frame)
+        if removed:
+            self._version += 1
         return removed
 
     def _cull_keyframes(self, current_frame: int) -> None:

@@ -821,6 +821,7 @@ class VisualOdometry:
         its first and latest observations subtend more parallax than the
         best it was ever triangulated with, recompute its position.
         """
+        refined = 0
         for point in self.map.points:
             if point.is_object:
                 continue
@@ -856,6 +857,10 @@ class VisualOdometry:
                 continue
             point.position = positions[0]
             point.parallax_quality_deg = parallax
+            refined += 1
+        if refined:
+            # Positions moved in place — invalidate position-derived caches.
+            self.map.bump_version()
 
     def _declare_lost(self, frame_index, matched_ids) -> TrackingResult:
         self._frames_since_lost += 1

@@ -13,11 +13,14 @@ from repro.obs import bench as bench_mod
 from repro.obs.bench import (
     SUITES,
     BenchScenario,
+    KernelBenchScenario,
     dump_bench,
     environment_fingerprint,
     run_suite,
+    strip_timing,
     write_bench,
 )
+from repro.obs.kernelbench import KERNEL_NAMES, TIMING_KEYS
 from repro.obs.compare import (
     compare_payloads,
     load_bench_dir,
@@ -160,8 +163,37 @@ class TestBenchPayload:
         }
 
     def test_byte_identical_across_runs(self, micro_payload):
+        # Kernel wall-clock fields are the one sanctioned source of
+        # nondeterminism; everything else must match byte for byte.
         again = run_suite("micro", "base")
-        assert dump_bench(micro_payload) == dump_bench(again)
+        assert dump_bench(strip_timing(micro_payload)) == dump_bench(
+            strip_timing(again)
+        )
+
+    def test_kernel_cells_present_and_equivalent(self, micro_payload):
+        cells = {
+            name: scenario["kernel"]
+            for name, scenario in micro_payload["scenarios"].items()
+            if "kernel" in scenario
+        }
+        assert set(cells) == set(KERNEL_NAMES)
+        for name, kernel in cells.items():
+            assert kernel["equivalent"], f"{name} diverged from its reference"
+        # The vectorization acceptance bar: at least three kernels at 3x+.
+        speedups = [
+            kernel["speedup_x"]
+            for kernel in cells.values()
+            if "vectorized_us" in kernel
+        ]
+        assert sum(1 for s in speedups if s >= 3.0) >= 3
+
+    def test_strip_timing_removes_only_wallclock(self, micro_payload):
+        stripped = strip_timing(micro_payload)
+        kernel = stripped["scenarios"]["fast.arc_run"]["kernel"]
+        assert not set(TIMING_KEYS) & set(kernel)
+        assert kernel["equivalent"] is True
+        # The original payload is untouched.
+        assert "speedup_x" in micro_payload["scenarios"]["fast.arc_run"]["kernel"]
 
     def test_write_bench(self, micro_payload, tmp_path):
         path = write_bench(micro_payload, tmp_path)

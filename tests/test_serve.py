@@ -17,6 +17,7 @@ from repro.serve import (
     REJECT_QUEUE_FULL,
     AdmissionConfig,
     AdmissionController,
+    BatchConfig,
     DegradeConfig,
     DegradeManager,
     FleetScheduler,
@@ -24,6 +25,7 @@ from repro.serve import (
     ServeItem,
     ServerPool,
     ServerReplica,
+    estimate_batch_ms,
     make_policy,
 )
 
@@ -558,3 +560,283 @@ class TestFleetBaselineArtifact:
         assert serve["degrade"]["degrade_events"] >= 1
         fifo = payload["scenarios"]["fifo-1srv"]["serve"]
         assert fifo["scheduler"] is False
+
+
+class TestBatchConfig:
+    def test_validate_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="max_size"):
+            BatchConfig(max_size=0).validate()
+        with pytest.raises(ValueError, match="window_ms"):
+            BatchConfig(window_ms=-1.0).validate()
+        with pytest.raises(ValueError, match="alpha"):
+            BatchConfig(alpha=0.0).validate()
+        with pytest.raises(ValueError, match="alpha"):
+            BatchConfig(alpha=1.5).validate()
+
+    def test_enabled_iff_size_above_one(self):
+        assert not BatchConfig(max_size=1).enabled
+        assert BatchConfig(max_size=2).enabled
+
+    def test_batch_of_one_is_exactly_solo(self):
+        # The analytical anchor of the max_batch_size=1 byte-identity
+        # contract: size 1 collapses the model to the solo estimate.
+        assert estimate_batch_ms(350.0, 80.0, 1, 0.8) == 350.0
+
+    def test_sublinear_amortization(self):
+        solo, setup = 350.0, 80.0
+        for size in (2, 3, 4):
+            batched = estimate_batch_ms(solo, setup, size, 0.8)
+            assert batched > estimate_batch_ms(solo, setup, size - 1, 0.8)
+            assert batched < size * solo  # cheaper than size solo calls
+
+
+class TestBatchDispatch:
+    """Unit-level invariants of FleetScheduler._dispatch_batch."""
+
+    def make_scheduler(self, batching, **kwargs):
+        kwargs.setdefault("num_sessions", 4)
+        return FleetScheduler([make_edge_server()], batching=batching, **kwargs)
+
+    def submit(self, scheduler, session, send_ms, budget_ms=33.0):
+        request = OffloadRequest(
+            frame_index=session, payload_bytes=1000, encode_ms=5.0
+        )
+        admitted, status = scheduler.submit(
+            session, request, [], (120, 160), send_ms, send_ms + 5.0,
+            budget_ms, send_ms,
+        )
+        assert admitted, status
+
+    def test_coalesces_queue_into_one_batch(self):
+        scheduler = self.make_scheduler(
+            BatchConfig(window_ms=10.0, max_size=3),
+            admission=AdmissionConfig(deadline_horizon=100.0),
+        )
+        for session in range(3):
+            self.submit(scheduler, session, float(session))
+        outcomes = scheduler.advance(10_000.0)
+        assert [o.kind for o in outcomes] == ["complete"] * 3
+        assert scheduler.counts["batches"] == 1
+        assert scheduler.counts["batched_items"] == 3
+        assert scheduler.counts["batch_saved_ms"] > 0.0
+        # One batch: every member lands at the same completion instant.
+        assert len({o.completion_ms for o in outcomes}) == 1
+
+    def test_batch_members_complete_in_edf_order(self):
+        scheduler = self.make_scheduler(
+            BatchConfig(window_ms=10.0, max_size=3),
+            admission=AdmissionConfig(deadline_horizon=100.0),
+        )
+        # Simultaneous arrivals submitted in the *reverse* of deadline
+        # order: the head and the outcome sequence must still follow EDF.
+        for session, budget in enumerate((40.0, 30.0, 20.0)):
+            self.submit(scheduler, session, 0.0, budget_ms=budget)
+        outcomes = scheduler.advance(10_000.0)
+        deadlines = [o.item.deadline_ms for o in outcomes]
+        assert len(deadlines) == 3
+        assert deadlines == sorted(deadlines)
+
+    def test_window_defers_dispatch_in_simulated_time(self):
+        scheduler = self.make_scheduler(
+            BatchConfig(window_ms=25.0, max_size=4),
+            admission=AdmissionConfig(deadline_horizon=100.0),
+        )
+        self.submit(scheduler, 0, 0.0)
+        # The request is servable at arrival (t=5) but the window holds
+        # it open for co-riders until t=30; advancing to t<30 must not
+        # dispatch, and a second arrival inside the window joins.
+        assert scheduler.advance(10.0) == []
+        assert scheduler.counts["batches"] == 0
+        self.submit(scheduler, 1, 15.0)
+        outcomes = scheduler.advance(10_000.0)
+        assert len(outcomes) == 2
+        assert scheduler.counts["batches"] == 1
+        assert scheduler.counts["batched_items"] == 2
+
+    def test_tight_deadline_refuses_joiner(self):
+        # Head deadline leaves ~20 ms of estimated slack over its solo
+        # service: growing to a batch of two would push the estimated
+        # completion past it (urgency(2, .) is in the past), so the
+        # joiner must ride alone — batching never *induces* a miss that
+        # solo service was estimated to avoid.
+        def run(head_budget):
+            scheduler = self.make_scheduler(
+                BatchConfig(window_ms=40.0, max_size=4),
+                admission=AdmissionConfig(deadline_horizon=1.0),
+            )
+            self.submit(scheduler, 0, 0.0, budget_ms=head_budget)
+            self.submit(scheduler, 1, 1.0, budget_ms=10_000.0)
+            outcomes = scheduler.advance(50_000.0)
+            assert [o.kind for o in outcomes] == ["complete", "complete"]
+            return scheduler
+
+        prior = AdmissionConfig()
+        slack = prior.est_infer_prior_ms + prior.est_downlink_ms
+        tight = run(slack + 20.0)
+        assert tight.counts["batches"] == 2  # two singleton batches
+        assert tight.counts["batched_items"] == 2
+        # Control: the identical workload with a loose head deadline
+        # coalesces — the refusal above was deadline-driven, not noise.
+        loose = run(10_000.0)
+        assert loose.counts["batches"] == 1
+        assert loose.counts["batched_items"] == 2
+
+    def test_full_batch_leaves_without_waiting_out_the_window(self):
+        scheduler = self.make_scheduler(
+            BatchConfig(window_ms=1_000.0, max_size=2),
+            admission=AdmissionConfig(deadline_horizon=100.0),
+        )
+        self.submit(scheduler, 0, 0.0)
+        self.submit(scheduler, 1, 1.0)
+        # Window nominally open until ~1006 ms, but the batch is full at
+        # t=6 (both arrivals): it must dispatch long before the window.
+        outcomes = scheduler.advance(20.0)
+        assert scheduler.counts["batches"] == 1
+        assert scheduler.counts["batched_items"] == 2
+        assert len(outcomes) in (0, 2)  # completion may still be ahead
+        outcomes += scheduler.advance(10_000.0)
+        assert len(outcomes) == 2
+
+    def test_backlog_costs_queue_at_amortized_batch_rate(self):
+        batching = BatchConfig(window_ms=10.0, max_size=4)
+        replica = ServerReplica(0, make_edge_server(), 350.0, batching=batching)
+        per_item = replica.est_batch_ms(4) / 4
+        assert per_item == pytest.approx(
+            estimate_batch_ms(
+                350.0, replica.server.batch_setup_ms(), 4, batching.alpha
+            )
+            / 4
+        )
+        assert per_item < replica.est_infer_ms  # amortization is real
+        replica.server.free_at_ms = 50.0
+        replica.queue = [make_item(seq=i, arrive_ms=0.0) for i in range(2)]
+        assert replica.backlog_ms(0.0) == pytest.approx(50.0 + 2 * per_item)
+
+    def test_backlog_sees_in_flight_batch(self):
+        scheduler = self.make_scheduler(
+            BatchConfig(window_ms=10.0, max_size=3),
+            admission=AdmissionConfig(deadline_horizon=100.0),
+        )
+        for session in range(3):
+            self.submit(scheduler, session, float(session))
+        scheduler.advance(20.0)  # batch dispatched, completion ahead
+        replica = scheduler.pool.replicas[0]
+        assert scheduler.counts["batches"] == 1
+        assert not replica.queue
+        assert replica.server.free_at_ms > 20.0
+        # The running batch's residual service time is the whole backlog.
+        assert replica.backlog_ms(20.0) == pytest.approx(
+            replica.server.free_at_ms - 20.0
+        )
+
+    def test_stats_report_batching_section(self):
+        scheduler = self.make_scheduler(
+            BatchConfig(window_ms=10.0, max_size=3),
+            admission=AdmissionConfig(deadline_horizon=100.0),
+        )
+        for session in range(3):
+            self.submit(scheduler, session, float(session))
+        scheduler.advance(10_000.0)
+        stats = scheduler.stats(10_000.0)
+        batching = stats["batching"]
+        assert batching["batches"] == 1
+        assert batching["batched_items"] == 3
+        assert batching["mean_batch_size"] == 3.0
+        assert batching["batched_fraction"] == 1.0
+        assert batching["batch_saved_ms"] > 0.0
+        assert stats["per_server"][0]["batches"] == 1
+        json.dumps(stats)  # JSON-clean
+
+
+class TestBatchingFleet:
+    """End-to-end batching contracts at the fleet level."""
+
+    @staticmethod
+    def fleet_fingerprint(outcome):
+        """JSON string capturing everything schedule-dependent about a
+        fleet run: scheduler stats plus per-session, per-frame metrics."""
+        payload = {
+            "stats": outcome.scheduler.stats(outcome.duration_ms),
+            "results": [
+                {
+                    "offloads": result.offload_count,
+                    "bytes_up": result.bytes_up,
+                    "bytes_down": result.bytes_down,
+                    "server_busy_ms": round(result.server_busy_ms, 9),
+                    "frames": [
+                        (
+                            frame.frame_index,
+                            round(frame.latency_ms, 9),
+                            round(frame.mean_iou, 9),
+                            frame.offloaded,
+                        )
+                        for frame in result.frames
+                    ],
+                }
+                for result in outcome.results
+            ],
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    def test_max_batch_size_one_is_byte_identical(self):
+        from repro.eval.experiments import FleetSpec, run_fleet
+
+        base = dict(
+            num_clients=3,
+            num_frames=20,
+            resolution=(128, 96),
+            warmup_frames=5,
+            seed=3,
+        )
+        unbatched = run_fleet(FleetSpec(**base))
+        inert = run_fleet(
+            FleetSpec(**base, batch_window_ms=40.0, max_batch_size=1)
+        )
+        assert self.fleet_fingerprint(unbatched) == self.fleet_fingerprint(
+            inert
+        )
+        # max_size=1 disables batching outright: no batching section.
+        assert "batching" not in inert.scheduler.stats()
+
+    def test_batching_fleet_produces_real_batches(self):
+        from repro.eval.experiments import FleetSpec, run_fleet
+
+        outcome = run_fleet(
+            FleetSpec(
+                num_clients=8,
+                num_frames=30,
+                resolution=(160, 120),
+                warmup_frames=5,
+                queue_limit=6,
+                deadline_horizon=36.0,
+                batch_window_ms=20.0,
+                max_batch_size=3,
+                seed=0,
+            )
+        )
+        stats = outcome.scheduler.stats(outcome.duration_ms)
+        assert stats["batching"]["batches"] >= 1
+        assert stats["batching"]["mean_batch_size"] > 1.0
+        assert stats["batching"]["batch_saved_ms"] > 0.0
+
+    def test_baseline_batch_cell_dominates_unbatched_edf(self):
+        """The committed fleet artifact certifies the batching tentpole:
+        same EDF config apart from the window, equal-or-better frame
+        miss rate, and strictly less server busy time per completion."""
+        assert BASELINE.exists()
+        payload = json.loads(BASELINE.read_text())
+        batch = payload["scenarios"]["edf-1srv-batch"]
+        plain = payload["scenarios"]["edf-1srv-degrade"]
+        for knob in ("policy", "queue_limit", "deadline_horizon"):
+            assert batch["spec"][knob] == plain["spec"][knob]
+        assert batch["spec"]["max_batch_size"] > 1
+        assert batch["slo"]["miss_rate"] <= plain["slo"]["miss_rate"]
+
+        def busy_per_completed(cell):
+            serve = cell["serve"]
+            busy = sum(s["busy_ms"] for s in serve["per_server"])
+            return busy / serve["completed"]
+
+        assert busy_per_completed(batch) < busy_per_completed(plain)
+        assert batch["serve"]["batching"]["batches"] >= 1
+        assert batch["serve"]["batching"]["batch_saved_ms"] > 0.0
