@@ -1,0 +1,239 @@
+"""Declarative adversarial scenario registry.
+
+Each :class:`ScenarioSpec` names a composition of world, trajectory and
+channel knobs that stresses a specific failure mode of the edge-offload
+pipeline (docs/scenarios.md walks through all of them):
+
+* ``crowded-occlusion`` — a crowd of patrol/crossing persons layered on
+  the cluttered ``xiph_like`` scene: masks overlap, instances occlude
+  each other, and the mask count inflates every offload payload.
+* ``whip-pan`` — the ``whip`` motion grade: violent yaw oscillation
+  starves the VO frontend of stable feature tracks (the simulator's
+  motion-blur surrogate) and forces frequent keyframe offloads.
+* ``transit`` — extra walkers that cross the camera frustum and park
+  outside it, so instances enter and leave the frame mid-sequence and
+  tracked masks must be dropped/re-acquired.
+* ``lighting-flip`` — a global illumination drop at a fixed instant via
+  texture wrappers (the renderer's ``set_time`` hook): appearance-based
+  association degrades on one exact frame.
+* ``wifi-to-lte`` — a mid-session WiFi -> LTE handoff scheduled on every
+  session's channel: uplink bandwidth collapses and RTT quadruples at
+  ``handoff_at_ms``.
+
+A spec is pure data; :func:`build_video` and :func:`apply_network` turn
+it into concrete simulator objects.  Everything stays seeded and
+deterministic — the chaos matrix must be byte-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..synthetic.datasets import (
+    _PALETTE,
+    _WORLD_BUILDERS,
+    _trajectory_for,
+    default_camera,
+)
+from ..synthetic.objects import (
+    OrbitMotion,
+    ProceduralTexture,
+    SceneObject,
+    WaypointMotion,
+    make_box_mesh,
+)
+from ..synthetic.world import SyntheticVideo, World
+
+__all__ = [
+    "ScenarioSpec",
+    "SCENARIOS",
+    "make_scenario",
+    "build_video",
+    "apply_network",
+    "LightingShiftTexture",
+]
+
+# Chaos-added instances start well above every catalog id (base worlds
+# stay <= 21), so ground-truth masks never collide.
+_CHAOS_BASE_ID = 40
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named adversarial scene composition (pure data)."""
+
+    name: str
+    summary: str
+    dataset: str = "xiph_like"
+    motion_grade: str = "walk"
+    network: str = "wifi_2.4ghz"
+    crowd: int = 0  # extra orbiting/crossing persons (occlusion pressure)
+    transients: int = 0  # walkers that enter and leave the frustum
+    lighting_shift_at_s: float | None = None
+    lighting_gain: float = 1.0
+    handoff_to: str | None = None
+    handoff_at_ms: float = 0.0
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            name="crowded-occlusion",
+            summary="crowd of crossing persons over the cluttered xiph scene",
+            dataset="xiph_like",
+            crowd=5,
+        ),
+        ScenarioSpec(
+            name="whip-pan",
+            summary="violent yaw oscillation starves VO feature tracks",
+            dataset="davis_like",
+            motion_grade="whip",
+        ),
+        ScenarioSpec(
+            name="transit",
+            summary="walkers enter and leave the frustum mid-sequence",
+            dataset="ar_indoor",
+            transients=4,
+        ),
+        ScenarioSpec(
+            name="lighting-flip",
+            summary="global illumination drops at t=0.8s",
+            dataset="xiph_like",
+            lighting_shift_at_s=0.8,
+            lighting_gain=0.45,
+        ),
+        ScenarioSpec(
+            name="wifi-to-lte",
+            summary="WiFi 5GHz to LTE handoff mid-session",
+            dataset="ar_indoor",
+            network="wifi_5ghz",
+            handoff_to="lte",
+            handoff_at_ms=700.0,
+        ),
+    )
+}
+
+
+def make_scenario(name: str) -> ScenarioSpec:
+    spec = SCENARIOS.get(name)
+    if spec is None:
+        raise ValueError(f"unknown scenario {name!r}; pick from {sorted(SCENARIOS)}")
+    return spec
+
+
+class LightingShiftTexture:
+    """Wraps a texture and scales its output after a fixed instant.
+
+    The renderer calls :meth:`set_time` before sampling any texel of a
+    frame, so the gain flips on one exact frame for every object at
+    once — a scene-wide lighting change, not a per-object fade.
+    """
+
+    def __init__(self, inner, at_s: float, gain: float):
+        self.inner = inner
+        self.at_s = at_s
+        self.gain = gain
+        self._time = 0.0
+
+    def set_time(self, time: float) -> None:
+        self._time = time
+
+    def sample(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        texel = self.inner.sample(u, v)
+        if self._time >= self.at_s:
+            return texel * self.gain
+        return texel
+
+
+def _person(instance_id: int, motion, seed: int) -> SceneObject:
+    return SceneObject(
+        instance_id=instance_id,
+        class_label="person",
+        mesh=make_box_mesh((0.6, 1.7, 0.5)),
+        texture=ProceduralTexture(
+            _PALETTE[instance_id % len(_PALETTE)], seed=seed
+        ),
+        motion=motion,
+    )
+
+
+def _crowd_objects(count: int, seed: int) -> list[SceneObject]:
+    """Orbiting persons at staggered radii/phases around the scene
+    center: their paths repeatedly cross in the camera's view, stacking
+    occlusions between themselves and the static clutter."""
+    objects = []
+    for k in range(count):
+        motion = OrbitMotion(
+            center=np.array([0.3 + 0.4 * (k % 3), -0.85, 6.0 + 0.5 * (k % 2)]),
+            radius=1.8 + 0.45 * k,
+            angular_speed=0.35 + 0.06 * k,
+            phase=2.0 * np.pi * k / max(count, 1),
+        )
+        objects.append(_person(_CHAOS_BASE_ID + k, motion, seed + 100 + k))
+    return objects
+
+
+def _transient_objects(count: int, seed: int) -> list[SceneObject]:
+    """Walkers that cross the frustum and park far outside it, so their
+    instances appear and then disappear from the ground truth."""
+    objects = []
+    for k in range(count):
+        side = 1.0 if k % 2 == 0 else -1.0
+        start = k * 0.7  # staggered entries
+        times = np.array([0.0, start, start + 2.2, start + 2.3])
+        positions = np.array(
+            [
+                [side * 14.0, -0.85, 5.0 + 0.8 * k],  # parked off-frustum
+                [side * 14.0, -0.85, 5.0 + 0.8 * k],
+                [-side * 14.0, -0.85, 5.0 + 0.8 * k],  # crossed to the far side
+                [-side * 14.0, -0.85, 5.0 + 0.8 * k],
+            ]
+        )
+        motion = WaypointMotion(times, positions)
+        objects.append(_person(_CHAOS_BASE_ID + 10 + k, motion, seed + 120 + k))
+    return objects
+
+
+def build_video(
+    spec: ScenarioSpec,
+    num_frames: int,
+    resolution: tuple[int, int] = (320, 240),
+    seed: int = 0,
+    fps: float = 30.0,
+) -> SyntheticVideo:
+    """Realize a scenario's world+trajectory as a renderable video."""
+    base = _WORLD_BUILDERS[spec.dataset](seed, True)
+    objects = list(base.objects)
+    if spec.crowd:
+        objects.extend(_crowd_objects(spec.crowd, seed))
+    if spec.transients:
+        objects.extend(_transient_objects(spec.transients, seed))
+    if spec.lighting_shift_at_s is not None:
+        for scene_object in objects:
+            scene_object.texture = LightingShiftTexture(
+                scene_object.texture, spec.lighting_shift_at_s, spec.lighting_gain
+            )
+    # Rebuild the world so feature sites cover the chaos objects too.
+    world = World(objects, seed=seed)
+    trajectory = _trajectory_for(spec.dataset, spec.motion_grade)
+    return SyntheticVideo(
+        world=world,
+        trajectory=trajectory,
+        camera=default_camera(resolution),
+        num_frames=num_frames,
+        fps=fps,
+        name=f"chaos[{spec.name}]",
+    )
+
+
+def apply_network(spec: ScenarioSpec, channel) -> bool:
+    """Schedule the scenario's channel events on one session channel.
+
+    Returns True if a handoff was scheduled (the caller logs it once)."""
+    if spec.handoff_to is None:
+        return False
+    channel.schedule_handoff(spec.handoff_at_ms, spec.handoff_to)
+    return True

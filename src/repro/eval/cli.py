@@ -11,6 +11,7 @@ Examples::
         results/BENCH_smoke_new.json
     python -m repro.eval.cli bench trend
     python -m repro.eval.cli report --suite fleet --label dev --format md,html
+    python -m repro.eval.cli chaos --scenario wifi-to-lte --fault replica-outage
     python -m repro.eval.cli list
 
 ``trace`` and ``report`` share one ``--format`` convention: a
@@ -25,6 +26,7 @@ import json
 import sys
 from pathlib import Path
 
+from ..chaos import FAULTS, SCENARIOS
 from ..network.channel import CHANNELS
 from ..obs import (
     DEFAULT_SAMPLE_INTERVAL_MS,
@@ -36,6 +38,7 @@ from ..obs import (
     evaluate_slo,
     mean_frame_latency_ms,
     render_comparison,
+    run_scenario,
     run_suite,
     stage_table,
     write_bench,
@@ -46,6 +49,7 @@ from ..obs import (
 )
 from ..serve import POLICY_NAMES
 from ..synthetic.datasets import COMPLEXITY_LEVELS, DATASET_NAMES
+from ..synthetic.trajectory import MOTION_PRESETS
 from .experiments import (
     ABLATION_NAMES,
     SYSTEM_NAMES,
@@ -232,6 +236,8 @@ def _cmd_serve(args) -> int:
         num_frames=args.frames,
         motion_grade=args.motion,
         server_device=args.server,
+        scenario=args.scenario,
+        faults=args.fault,
         scheduler=not args.fifo,
         num_servers=args.servers,
         policy=args.policy,
@@ -298,6 +304,11 @@ def _cmd_serve(args) -> int:
                 f"server{entry['index']}:  completed={entry['completed']} "
                 f"shed={entry['shed']} utilization={entry.get('utilization', 0.0):.3f}"
             )
+    if outcome.chaos is not None and outcome.chaos.log:
+        print(
+            "chaos:    "
+            + " ".join(entry["event"] for entry in outcome.chaos.log)
+        )
     print(
         f"fleet SLO: miss_rate={slo['miss_rate']:.4f} "
         f"p50={slo['latency_p50_ms']:.2f} ms p99={slo['latency_p99_ms']:.2f} ms "
@@ -309,6 +320,66 @@ def _cmd_serve(args) -> int:
             {"sessions": payloads, "serve": serve_stats, "slo": slo},
         )
         print(f"saved {args.json}")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    """Run the adversarial scenario x fault matrix and certify that every
+    cell holds its SLO error budget through degrade -> recover."""
+    if args.scenario is not None and args.scenario not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {args.scenario!r}; pick from {sorted(SCENARIOS)}"
+        )
+    if args.fault is not None and args.fault not in FAULTS:
+        raise ValueError(
+            f"unknown fault program {args.fault!r}; pick from {sorted(FAULTS)}"
+        )
+    cells = [
+        cell
+        for cell in SUITES["chaos"]
+        if (args.scenario is None or cell.chaos_scenario == args.scenario)
+        and (args.fault is None or cell.fault == args.fault)
+    ]
+    filtered = len(cells) != len(SUITES["chaos"])
+
+    if filtered:
+        # A filtered run is exploratory: run just those cells, no artifact.
+        scenarios = {
+            cell.name: run_scenario(cell, budget_ms=args.budget_ms)
+            for cell in cells
+        }
+        path = None
+    else:
+        payload = run_suite("chaos", args.label, budget_ms=args.budget_ms)
+        path = write_bench(payload, args.out)
+        scenarios = payload["scenarios"]
+
+    table = Table(
+        f"chaos matrix [{args.label}] — certify consumed_fraction < 1.0",
+        ["cell", "miss rate", "budget used %", "events", "certified"],
+    )
+    failed = []
+    for name in sorted(scenarios):
+        cell = scenarios[name]
+        consumed = cell["budget"]["consumed_fraction"]
+        certified = cell["chaos"]["certified"]
+        if not certified:
+            failed.append(name)
+        table.add_row(
+            name,
+            cell["slo"]["miss_rate"],
+            round(consumed * 100.0, 2),
+            len(cell["chaos"]["events"]),
+            "yes" if certified else "NO",
+        )
+    table.print()
+    if path is not None:
+        print(f"wrote  {path}")
+    if failed:
+        for name in failed:
+            print(f"NOT CERTIFIED: {name} blew its SLO error budget")
+        return 1
+    print(f"certified: all {len(scenarios)} cells held their error budget")
     return 0
 
 
@@ -446,6 +517,8 @@ def _cmd_list(args) -> int:
     print("traces:    ", ", ".join(TRACE_BENCHES))
     print("suites:    ", ", ".join(sorted(SUITES)))
     print("policies:  ", ", ".join(sorted(POLICY_NAMES)))
+    print("scenarios: ", ", ".join(sorted(SCENARIOS)))
+    print("faults:    ", ", ".join(sorted(FAULTS)))
     return 0
 
 
@@ -459,7 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--dataset", default="xiph_like", choices=DATASET_NAMES)
         sub.add_argument("--network", default="wifi_5ghz", choices=sorted(CHANNELS))
         sub.add_argument("--frames", type=int, default=150)
-        sub.add_argument("--motion", default="walk", choices=("walk", "stride", "jog"))
+        sub.add_argument("--motion", default="walk", choices=sorted(MOTION_PRESETS))
         sub.add_argument("--seed", type=int, default=0)
         sub.add_argument(
             "--server", default="jetson_tx2", choices=("jetson_tx2", "jetson_xavier", "titan_v")
@@ -550,6 +623,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--system", default="baseline+mamt", choices=SYSTEM_NAMES + ABLATION_NAMES
     )
+    serve_parser.add_argument(
+        "--scenario",
+        default=None,
+        help="adversarial scenario from the chaos registry "
+        f"({', '.join(sorted(SCENARIOS))}) — replaces --dataset/--motion",
+    )
+    serve_parser.add_argument(
+        "--fault",
+        default="none",
+        help="named fault program to inject "
+        f"({', '.join(sorted(FAULTS))})",
+    )
     serve_parser.add_argument("--warmup", type=int, default=10)
     serve_parser.add_argument(
         "--budget-ms",
@@ -569,7 +654,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench_run = bench_sub.add_parser(
         "run", help="run a suite and write BENCH_<suite>_<label>.json"
     )
-    bench_run.add_argument("--suite", default="smoke", choices=sorted(SUITES))
+    # No argparse ``choices``: unknown suites get the runner's one-line
+    # error (listing what exists) instead of an argparse usage dump.
+    bench_run.add_argument(
+        "--suite",
+        default="smoke",
+        help=f"suite to run ({', '.join(sorted(SUITES))})",
+    )
     bench_run.add_argument(
         "--label", default="dev", help="artifact label (BENCH_<suite>_<label>.json)"
     )
@@ -624,7 +715,9 @@ def build_parser() -> argparse.ArgumentParser:
         " error budgets, session strips, anomalies)",
     )
     report_parser.add_argument(
-        "--suite", default="fleet", choices=sorted(SUITES)
+        "--suite",
+        default="fleet",
+        help=f"suite to run ({', '.join(sorted(SUITES))})",
     )
     report_parser.add_argument(
         "--label", default="dev", help="report label (REPORT_<suite>_<label>.*)"
@@ -661,6 +754,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_format_flag(report_parser, ("md", "html"), "md,html")
     report_parser.set_defaults(func=_cmd_report)
 
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="run the adversarial scenario x fault matrix and certify the"
+        " SLO error budget holds through degrade -> recover",
+    )
+    chaos_parser.add_argument(
+        "--scenario",
+        default=None,
+        help=f"restrict to one scenario ({', '.join(sorted(SCENARIOS))})",
+    )
+    chaos_parser.add_argument(
+        "--fault",
+        default=None,
+        help=f"restrict to one fault program ({', '.join(sorted(FAULTS))})",
+    )
+    chaos_parser.add_argument(
+        "--label", default="dev", help="artifact label (BENCH_chaos_<label>.json)"
+    )
+    chaos_parser.add_argument(
+        "--out", default="results", help="output directory (default results/)"
+    )
+    chaos_parser.add_argument(
+        "--budget-ms",
+        type=float,
+        default=FRAME_BUDGET_MS,
+        help="per-frame deadline for SLO evaluation (default 33.33 ms = 30 fps)",
+    )
+    chaos_parser.set_defaults(func=_cmd_chaos)
+
     list_parser = subparsers.add_parser("list", help="list available names")
     list_parser.set_defaults(func=_cmd_list)
     return parser
@@ -669,7 +791,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError, FileNotFoundError) as exc:
+        # Unknown suite/scenario/fault names and missing artifact paths
+        # are user errors: one clear line on stderr, not a traceback.
+        if isinstance(exc, OSError):
+            message = f"{exc.strerror}: {exc.filename}"
+        else:
+            message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ from ..baselines.systems import (
     EdgeDuetClient,
     MobileOnlyClient,
 )
+from ..chaos import ChaosInjector, apply_network, build_video, make_faults, make_scenario
 from ..core.config import SystemConfig
 from ..core.system import EdgeISSystem
 from ..model.costs import DEVICES, DeviceProfile
@@ -266,6 +267,12 @@ class FleetSpec:
     trace: bool = False
     trace_wall_clock: bool = False
     sample_interval_ms: float | None = None
+    # Chaos (repro.chaos): an adversarial scenario name replaces the
+    # plain catalog scene, and a named fault program injects serving
+    # faults on the simulated clock.  ``None``/``"none"`` leave the run
+    # byte-identical to a chaos-free fleet.
+    scenario: str | None = None
+    faults: str = "none"
 
 
 @dataclass
@@ -277,6 +284,7 @@ class FleetOutcome:
     tracer: Tracer | None = None
     sampler: TimelineSampler | None = None
     duration_ms: float = 0.0
+    chaos: object | None = None  # ChaosInjector when the run injected faults
 
 
 def run_fleet(spec: FleetSpec) -> FleetOutcome:
@@ -289,24 +297,60 @@ def run_fleet(spec: FleetSpec) -> FleetOutcome:
             "the legacy FIFO topology has exactly one server; "
             "set scheduler=True to use num_servers > 1"
         )
+    # Resolve chaos knobs up front so unknown names fail before any
+    # rendering happens.
+    scenario = make_scenario(spec.scenario) if spec.scenario is not None else None
+    faults = make_faults(spec.faults)
+    if faults and not spec.scheduler:
+        needs_scheduler = [f.kind for f in faults if f.kind != "stall_channel"]
+        if needs_scheduler:
+            raise ValueError(
+                f"fault kinds {needs_scheduler} act on the FleetScheduler; "
+                "set scheduler=True to inject them"
+            )
+    for fault in faults:
+        if fault.kind in ("kill_replica", "straggler") and not (
+            0 <= fault.target < spec.num_servers
+        ):
+            raise ValueError(
+                f"fault target {fault.target} out of range for "
+                f"{spec.num_servers} server(s)"
+            )
     tracer = Tracer(wall_clock=spec.trace_wall_clock) if spec.trace else NULL_TRACER
 
     # One deterministic scene + client per device; independent channel
     # jitter streams spawned from the single experiment seed.
     channel_rngs = spawn_channel_rngs(spec.seed, spec.num_clients)
+    network = scenario.network if scenario is not None else spec.network
+    chaos = ChaosInjector(faults, tracer=tracer) if (faults or scenario) else None
     sessions = []
     for index in range(spec.num_clients):
-        video = make_dataset(
-            spec.dataset,
-            num_frames=spec.num_frames,
-            resolution=spec.resolution,
-            motion_grade=spec.motion_grade,
-            seed=spec.seed + index,
-        )
+        if scenario is not None:
+            video = build_video(
+                scenario,
+                num_frames=spec.num_frames,
+                resolution=spec.resolution,
+                seed=spec.seed + index,
+            )
+        else:
+            video = make_dataset(
+                spec.dataset,
+                num_frames=spec.num_frames,
+                resolution=spec.resolution,
+                motion_grade=spec.motion_grade,
+                seed=spec.seed + index,
+            )
         client = build_client(
             spec.system, video, seed=spec.seed + index, tracer=tracer
         )
-        channel = make_channel(spec.network, channel_rngs[index])
+        channel = make_channel(network, channel_rngs[index])
+        if scenario is not None and apply_network(scenario, channel) and chaos is not None:
+            chaos.note(
+                "handoff_scheduled",
+                session=index,
+                at_ms=round(scenario.handoff_at_ms, 6),
+                to=scenario.handoff_to,
+            )
         sessions.append(ClientSession(video=video, client=client, channel=channel))
 
     device = DEVICES[spec.server_device]
@@ -360,6 +404,8 @@ def run_fleet(spec: FleetSpec) -> FleetOutcome:
         if spec.sample_interval_ms is not None
         else None
     )
+    if chaos is not None:
+        chaos.bind(scheduler if scheduler is not None else backend, sessions, tracer)
     pipeline = MultiClientPipeline(
         sessions,
         backend,
@@ -367,6 +413,7 @@ def run_fleet(spec: FleetSpec) -> FleetOutcome:
         tracer=tracer,
         deadline_budget_ms=spec.deadline_budget_ms,
         sampler=sampler,
+        chaos=chaos,
     )
     results = pipeline.run()
     duration = spec.num_frames * (1000.0 / sessions[0].video.fps)
@@ -378,4 +425,5 @@ def run_fleet(spec: FleetSpec) -> FleetOutcome:
         tracer=tracer if spec.trace else None,
         sampler=sampler,
         duration_ms=duration,
+        chaos=chaos,
     )

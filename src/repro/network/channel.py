@@ -45,34 +45,111 @@ CHANNELS: dict[str, ChannelProfile] = {
 
 
 class Channel:
-    """A bidirectional link with stochastic latency draws."""
+    """A bidirectional link with stochastic latency draws.
+
+    The link can change character mid-session: :meth:`schedule_handoff`
+    swaps the active :class:`ChannelProfile` at a simulated instant (the
+    WiFi -> LTE handoff of the chaos scenarios), and
+    :meth:`schedule_stall` opens a partition window during which every
+    transfer is held until the window closes.  Both are pure schedule
+    lookups — they add **no RNG draws** — so a run with a handoff at
+    ``t`` is bit-identical to the unmodified run for every transfer
+    initiated before ``t``.  Callers opt in by passing ``now_ms``; the
+    legacy no-argument form keeps the base profile forever.
+    """
 
     def __init__(self, profile: ChannelProfile, rng: np.random.Generator | None = None):
         self.profile = profile
         self._rng = rng or np.random.default_rng(0)
         self.bytes_up = 0
         self.bytes_down = 0
+        # Time-scheduled link changes (empty = legacy static behavior).
+        self._handoffs: list[tuple[float, ChannelProfile]] = []
+        self._stalls: list[tuple[float, float]] = []
+        self._active_name = profile.name
+        self.handoff_count = 0
+        self.stall_hits = 0
 
-    def _transfer_ms(self, num_bytes: int, mbps: float) -> float:
+    # ------------------------------------------------------------------
+    # Chaos / scenario schedule
+    # ------------------------------------------------------------------
+    def schedule_handoff(self, at_ms: float, profile: ChannelProfile | str) -> None:
+        """Swap the active profile for transfers initiated at/after ``at_ms``."""
+        if isinstance(profile, str):
+            resolved = CHANNELS.get(profile)
+            if resolved is None:
+                raise ValueError(
+                    f"unknown channel {profile!r}; pick from {sorted(CHANNELS)}"
+                )
+            profile = resolved
+        self._handoffs.append((float(at_ms), profile))
+        self._handoffs.sort(key=lambda entry: entry[0])
+
+    def schedule_stall(self, at_ms: float, duration_ms: float) -> None:
+        """Partition the link for ``[at_ms, at_ms + duration_ms)``: a
+        transfer initiated inside the window is held until it closes."""
+        if duration_ms <= 0.0:
+            raise ValueError("stall duration_ms must be positive")
+        self._stalls.append((float(at_ms), float(at_ms) + float(duration_ms)))
+        self._stalls.sort()
+
+    def profile_at(self, now_ms: float | None) -> ChannelProfile:
+        """The profile governing a transfer initiated at ``now_ms``."""
+        if now_ms is None or not self._handoffs:
+            return self.profile
+        active = self.profile
+        for at_ms, profile in self._handoffs:
+            if now_ms >= at_ms:
+                active = profile
+            else:
+                break
+        return active
+
+    def _stall_release(self, now_ms: float | None) -> float | None:
+        if now_ms is None:
+            return None
+        for start, end in self._stalls:
+            if start <= now_ms < end:
+                return end
+        return None
+
+    # ------------------------------------------------------------------
+    def _transfer_ms(
+        self, num_bytes: int, mbps: float, profile: ChannelProfile, now_ms: float | None
+    ) -> float:
         serialization = num_bytes * 8.0 / (mbps * 1e6) * 1000.0
         multiplier = float(
-            np.exp(self._rng.normal(0.0, self.profile.jitter))
+            np.exp(self._rng.normal(0.0, profile.jitter))
         )
-        latency = self.profile.rtt_ms / 2.0 + serialization * multiplier
-        if self._rng.uniform() < self.profile.loss_rate:
+        latency = profile.rtt_ms / 2.0 + serialization * multiplier
+        if self._rng.uniform() < profile.loss_rate:
             # A loss event stalls for roughly one RTO (~2 RTT here).
-            latency += 2.0 * self.profile.rtt_ms
+            latency += 2.0 * profile.rtt_ms
+        release = self._stall_release(now_ms)
+        if release is not None:
+            # Partitioned: the transfer only starts once the window ends.
+            self.stall_hits += 1
+            latency += release - now_ms
         return latency
 
-    def uplink_ms(self, num_bytes: int) -> float:
+    def _note_profile(self, profile: ChannelProfile) -> None:
+        if profile.name != self._active_name:
+            self._active_name = profile.name
+            self.handoff_count += 1
+
+    def uplink_ms(self, num_bytes: int, now_ms: float | None = None) -> float:
         """Latency to move ``num_bytes`` from mobile to edge."""
         self.bytes_up += int(num_bytes)
-        return self._transfer_ms(num_bytes, self.profile.uplink_mbps)
+        profile = self.profile_at(now_ms)
+        self._note_profile(profile)
+        return self._transfer_ms(num_bytes, profile.uplink_mbps, profile, now_ms)
 
-    def downlink_ms(self, num_bytes: int) -> float:
+    def downlink_ms(self, num_bytes: int, now_ms: float | None = None) -> float:
         """Latency to move ``num_bytes`` from edge to mobile."""
         self.bytes_down += int(num_bytes)
-        return self._transfer_ms(num_bytes, self.profile.downlink_mbps)
+        profile = self.profile_at(now_ms)
+        self._note_profile(profile)
+        return self._transfer_ms(num_bytes, profile.downlink_mbps, profile, now_ms)
 
 
 def make_channel(name: str, rng: np.random.Generator | None = None) -> Channel:

@@ -44,7 +44,9 @@ from .budget import (
 from .bench import (
     SUITES,
     BenchScenario,
+    ChaosBenchScenario,
     FleetBenchScenario,
+    KernelBenchScenario,
     bench_filename,
     dump_bench,
     run_scenario,
@@ -106,7 +108,9 @@ __all__ = [
     "session_timelines",
     "SUITES",
     "BenchScenario",
+    "ChaosBenchScenario",
     "FleetBenchScenario",
+    "KernelBenchScenario",
     "bench_filename",
     "dump_bench",
     "run_scenario",

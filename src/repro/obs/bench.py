@@ -44,6 +44,7 @@ __all__ = [
     "BenchScenario",
     "FleetBenchScenario",
     "KernelBenchScenario",
+    "ChaosBenchScenario",
     "SUITES",
     "environment_fingerprint",
     "stage_percentiles",
@@ -97,6 +98,28 @@ class FleetBenchScenario(BenchScenario):
     batch_window_ms: float = 0.0
     max_batch_size: int = 1
     batch_alpha: float = 0.8
+
+
+@dataclass(frozen=True)
+class ChaosBenchScenario(FleetBenchScenario):
+    """One adversarial-scenario x fault cell (:mod:`repro.chaos`).
+
+    Runs a fleet cell where the scene comes from the chaos scenario
+    registry and a named fault program injects serving faults on the
+    simulated clock.  The certified claim: through degrade -> recover the
+    cell's SLO error budget holds (``budget.consumed_fraction < 1.0`` at
+    the cell's looser ``slo_target``).  The extra ``chaos`` payload
+    section records the scenario, the fault program and the injector's
+    event log (all sim-clock deterministic, so it is part of the
+    byte-identity contract).
+    """
+
+    chaos_scenario: str = ""
+    fault: str = "none"
+    # Adversarial cells run against a looser per-cell miss-rate target
+    # than DEFAULT_SLO_TARGET: the certification is "the fleet survives
+    # inside an explicit, budgeted degradation", not "chaos is free".
+    slo_target: float = 0.25
 
 
 @dataclass(frozen=True)
@@ -203,6 +226,36 @@ SUITES: dict[str, tuple[BenchScenario, ...]] = {
             policy="least_queue",
             num_servers=2,
         ),
+    ),
+    # Adversarial scenario x fault matrix (docs/scenarios.md): every
+    # registry scenario against every fault program, certified to hold
+    # its SLO error budget through degrade -> recover.  The name lists
+    # are hard-coded (not imported from repro.chaos) to keep this module
+    # import-light; tests/test_chaos.py asserts they stay in sync with
+    # the registries.
+    "chaos": tuple(
+        ChaosBenchScenario(
+            f"{scenario_name}+{fault_name}",
+            system="baseline+mamt",
+            frames=56,
+            resolution=(128, 96),
+            warmup_frames=8,
+            num_clients=4,
+            num_servers=2,
+            policy="edf",
+            queue_limit=6,
+            deadline_horizon=36.0,
+            chaos_scenario=scenario_name,
+            fault=fault_name,
+        )
+        for scenario_name in (
+            "crowded-occlusion",
+            "whip-pan",
+            "transit",
+            "lighting-flip",
+            "wifi-to-lte",
+        )
+        for fault_name in ("none", "replica-outage", "straggler", "uplink-stall")
     ),
 }
 
@@ -388,6 +441,16 @@ def _run_fleet_scenario(
     """
     from ..eval.experiments import FleetSpec, run_fleet
 
+    is_chaos = isinstance(scenario, ChaosBenchScenario)
+    network = scenario.network
+    if is_chaos:
+        from ..chaos import make_scenario
+
+        # Chaos cells certify against their own (looser) miss-rate
+        # target; the suite-level target still governs plain cells.
+        slo_target = scenario.slo_target
+        # The scenario registry owns the channel choice.
+        network = make_scenario(scenario.chaos_scenario).network
     spec = FleetSpec(
         num_clients=scenario.num_clients,
         system=scenario.system,
@@ -413,6 +476,8 @@ def _run_fleet_scenario(
         seed=scenario.seed,
         trace=True,
         sample_interval_ms=sample_interval_ms,
+        scenario=scenario.chaos_scenario if is_chaos else None,
+        faults=scenario.fault if is_chaos else "none",
     )
     outcome = run_fleet(spec)
     tracer = outcome.tracer
@@ -438,7 +503,7 @@ def _run_fleet_scenario(
         "spec": {
             "system": scenario.system,
             "dataset": scenario.dataset,
-            "network": scenario.network,
+            "network": network,
             "motion": scenario.motion,
             "frames": scenario.frames,
             "resolution": list(scenario.resolution),
@@ -490,6 +555,21 @@ def _run_fleet_scenario(
         },
         "serve": serve,
     }
+    if is_chaos:
+        # Chaos-only keys live in their own section (and two spec keys)
+        # so plain fleet cells stay byte-identical to their pre-chaos
+        # artifacts.
+        payload["spec"]["chaos_scenario"] = scenario.chaos_scenario
+        payload["spec"]["fault"] = scenario.fault
+        payload["chaos"] = {
+            "scenario": scenario.chaos_scenario,
+            "fault": scenario.fault,
+            "slo_target": round(scenario.slo_target, 6),
+            "events": list(outcome.chaos.log) if outcome.chaos is not None else [],
+            "certified": bool(
+                budget_report["consumed_fraction"] < 1.0
+            ),
+        }
     observed = {
         "tracer": tracer,
         "sampler": outcome.sampler,

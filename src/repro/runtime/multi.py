@@ -68,6 +68,7 @@ class MultiClientPipeline:
         tracer: Tracer | None = None,
         deadline_budget_ms: float | None = None,
         sampler=None,
+        chaos=None,
     ):
         if not sessions:
             raise ValueError("MultiClientPipeline needs at least one session")
@@ -98,6 +99,9 @@ class MultiClientPipeline:
         # Optional repro.obs.timeline.TimelineSampler, ticked once per
         # frame tick so fleet gauges become fixed-interval time series.
         self.sampler = sampler
+        # Optional repro.chaos.ChaosInjector, ticked at the top of every
+        # frame tick so faults land at deterministic sim-clock instants.
+        self.chaos = chaos
         metrics = self.tracer.metrics
         self._m_frames = metrics.counter("pipeline.frames")
         self._m_deadline_miss = metrics.counter("pipeline.deadline_miss")
@@ -127,6 +131,8 @@ class MultiClientPipeline:
         for frame_index in range(num_frames):
             now = frame_index * frame_interval
             self.tracer.set_now(now)
+            if self.chaos is not None:
+                self.chaos.tick(now)
             if self.scheduler is not None:
                 self._service_scheduler(now)
             for session_index, session in enumerate(self.sessions):
@@ -170,7 +176,9 @@ class MultiClientPipeline:
                 )
                 continue
             result_bytes = encoded_size_bytes(outcome.masks) + RESULT_HEADER_BYTES
-            downlink = session.channel.downlink_ms(result_bytes)
+            downlink = session.channel.downlink_ms(
+                result_bytes, now_ms=outcome.completion_ms
+            )
             if tracer.enabled:
                 tracer.add_span(
                     "channel.downlink",
@@ -336,7 +344,9 @@ class MultiClientPipeline:
                 payload_bytes=int(request.payload_bytes),
                 encode_ms=round(request.encode_ms, 6),
             )
-        uplink = session.channel.uplink_ms(request.payload_bytes)
+        uplink = session.channel.uplink_ms(
+            request.payload_bytes, now_ms=send_time_ms + request.encode_ms
+        )
         arrive = send_time_ms + request.encode_ms + uplink
 
         if self.scheduler is not None:
@@ -378,7 +388,7 @@ class MultiClientPipeline:
             request, truth.masks, frame.shape, arrive
         )
         result_bytes = encoded_size_bytes(detections) + RESULT_HEADER_BYTES
-        downlink = session.channel.downlink_ms(result_bytes)
+        downlink = session.channel.downlink_ms(result_bytes, now_ms=completion)
         if tracer.enabled:
             tracer.add_span(
                 "channel.downlink",

@@ -156,6 +156,10 @@ class EdgeServer:
         self._rng = rng or np.random.default_rng(7)
         self.free_at_ms = 0.0
         self.busy_ms_total = 0.0
+        # Runtime service-time multiplier — the chaos straggler fault
+        # flips this mid-run (1.0 = exact pre-chaos latency, since
+        # ``x * 1.0 == x`` for every finite float).
+        self.latency_scale = 1.0
         # Trace lane; a ServerPool renames its replicas server0..serverN.
         self.lane = "server"
         self.attach_tracer(tracer if tracer is not None else NULL_TRACER)
@@ -243,12 +247,13 @@ class EdgeServer:
                 was_free=self.is_free_at(arrive_ms),
             )
         result, detections = self._infer_one(request, truth_masks, image_shape)
-        completion = start + result.total_ms
+        service_ms = result.total_ms * self.latency_scale
+        completion = start + service_ms
         self.free_at_ms = completion
-        self.busy_ms_total += result.total_ms
+        self.busy_ms_total += service_ms
         self._m_requests.inc()
         self._h_queue_wait.observe(start - arrive_ms)
-        self._h_infer.observe(result.total_ms)
+        self._h_infer.observe(service_ms)
         if tracer.enabled:
             tracer.event(
                 "server.queue_exit",
@@ -274,7 +279,7 @@ class EdgeServer:
                 lane=self.lane,
                 frame=request.frame_index,
                 start_ms=start,
-                dur_ms=result.total_ms,
+                dur_ms=service_ms,
                 **attrs,
             )
         return completion, detections
@@ -324,7 +329,7 @@ class EdgeServer:
         setup = self.batch_setup_ms()
         size = len(entries)
         per_item = max(sum(solo_ms) / size - setup, 0.0)
-        batch_ms = setup + per_item * size**alpha
+        batch_ms = (setup + per_item * size**alpha) * self.latency_scale
         completion = start + batch_ms
         self.free_at_ms = completion
         self.busy_ms_total += batch_ms
@@ -556,7 +561,9 @@ class Pipeline:
                 payload_bytes=int(request.payload_bytes),
                 encode_ms=round(request.encode_ms, 6),
             )
-        uplink = self.channel.uplink_ms(request.payload_bytes)
+        uplink = self.channel.uplink_ms(
+            request.payload_bytes, now_ms=send_time_ms + request.encode_ms
+        )
         arrive = send_time_ms + request.encode_ms + uplink
         if tracer.enabled:
             tracer.add_span(
@@ -572,7 +579,7 @@ class Pipeline:
             request, truth.masks, frame.shape, arrive
         )
         result_bytes = encoded_size_bytes(detections) + RESULT_HEADER_BYTES
-        downlink = self.channel.downlink_ms(result_bytes)
+        downlink = self.channel.downlink_ms(result_bytes, now_ms=completion)
         if tracer.enabled:
             tracer.add_span(
                 "channel.downlink",

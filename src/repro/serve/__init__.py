@@ -24,6 +24,7 @@ from .policy import (
     make_policy,
 )
 from .scheduler import (
+    REJECT_NO_REPLICA,
     FleetScheduler,
     ServeItem,
     ServeOutcome,
@@ -35,6 +36,7 @@ __all__ = [
     "ADMIT",
     "REJECT_INFEASIBLE",
     "REJECT_QUEUE_FULL",
+    "REJECT_NO_REPLICA",
     "AdmissionConfig",
     "AdmissionController",
     "AdmissionDecision",

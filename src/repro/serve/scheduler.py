@@ -38,7 +38,18 @@ from .batching import BatchConfig, estimate_batch_ms
 from .degrade import DegradeConfig, DegradeManager
 from .policy import SchedulingPolicy, make_policy
 
-__all__ = ["ServeItem", "ServeOutcome", "ServerReplica", "ServerPool", "FleetScheduler"]
+__all__ = [
+    "REJECT_NO_REPLICA",
+    "ServeItem",
+    "ServeOutcome",
+    "ServerReplica",
+    "ServerPool",
+    "FleetScheduler",
+]
+
+# Submit status when every replica is dead (chaos kill_replica): nothing
+# can be placed, so the client is bounced straight to MAMT fallback.
+REJECT_NO_REPLICA = "reject-no-replica"
 
 
 @dataclass
@@ -84,6 +95,9 @@ class ServerReplica:
         self.server = server
         self.queue: list[ServeItem] = []
         self.est_infer_ms = est_infer_ms
+        # Chaos kill_replica flips this; dead replicas take no placements
+        # and are skipped by the drain loop until revived.
+        self.alive = True
         self.batching = batching if batching is not None and batching.enabled else None
         self.completed = 0
         self.shed = 0
@@ -148,8 +162,14 @@ class ServerPool:
     def __len__(self) -> int:
         return len(self.replicas)
 
+    def live_replicas(self) -> list[ServerReplica]:
+        return [replica for replica in self.replicas if replica.alive]
+
     def choose(self, item: ServeItem, now_ms: float) -> ServerReplica:
-        return self.policy.choose(item, self.replicas, now_ms)
+        live = self.live_replicas()
+        if not live:
+            raise RuntimeError("no live replica to place on")
+        return self.policy.choose(item, live, now_ms)
 
     def queue_depth(self) -> int:
         return sum(len(replica.queue) for replica in self.replicas)
@@ -161,7 +181,7 @@ class ServerPool:
     def is_free_at(self, now_ms: float) -> bool:
         return any(
             replica.server.is_free_at(now_ms) and not replica.queue
-            for replica in self.replicas
+            for replica in self.live_replicas()
         )
 
 
@@ -198,12 +218,18 @@ class FleetScheduler:
             "admitted": 0,
             "rejected_queue_full": 0,
             "rejected_infeasible": 0,
+            "rejected_no_replica": 0,
             "shed": 0,
             "completed": 0,
             "batches": 0,
             "batched_items": 0,
             "batch_saved_ms": 0.0,
+            "replica_kills": 0,
+            "replica_revives": 0,
         }
+        # Outcomes produced between ticks (e.g. queue items orphaned by a
+        # chaos kill_replica), handed back at the next advance().
+        self._pending_outcomes: list[ServeOutcome] = []
         self.attach_tracer(tracer if tracer is not None else NULL_TRACER)
 
     # ------------------------------------------------------------------
@@ -217,6 +243,10 @@ class FleetScheduler:
         self._m_admit = metrics.counter("serve.admit")
         self._m_reject_queue = metrics.counter("serve.reject_queue_full")
         self._m_reject_deadline = metrics.counter("serve.reject_infeasible")
+        self._m_reject_no_replica = metrics.counter("serve.reject_no_replica")
+        self._m_replica_down = metrics.counter("serve.replica_down")
+        self._m_replica_up = metrics.counter("serve.replica_up")
+        self._g_live_replicas = metrics.gauge("serve.live_replicas")
         self._m_shed = metrics.counter("serve.shed")
         self._m_complete = metrics.counter("serve.complete")
         self._m_degrade = metrics.counter("serve.degrade")
@@ -281,6 +311,23 @@ class FleetScheduler:
         self.counts["submitted"] += 1
         self._m_submitted.inc()
 
+        if not self.pool.live_replicas():
+            self.counts["rejected_no_replica"] += 1
+            self._m_reject_no_replica.inc()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "serve.reject",
+                    lane="serve",
+                    ts_ms=arrive_ms,
+                    frame=item.frame_index,
+                    session=session_index,
+                    server=-1,
+                    reason=REJECT_NO_REPLICA,
+                    deadline_ms=round(item.deadline_ms, 6),
+                )
+            self._note_failure(session_index, now_ms)
+            return False, REJECT_NO_REPLICA
+
         replica = self.pool.choose(item, now_ms)
         decision = self.admission.check(item, replica, now_ms)
         if decision.admitted:
@@ -332,8 +379,11 @@ class FleetScheduler:
         notifies the owning client).  Also runs the staggered
         degrade-recovery check against the post-drain queue depth.
         """
-        outcomes: list[ServeOutcome] = []
+        outcomes = self._pending_outcomes
+        self._pending_outcomes = []
         for replica in self.pool.replicas:
+            if not replica.alive:
+                continue
             self._drain_replica(replica, now_ms, outcomes)
 
         depth = self.pool.queue_depth()
@@ -546,6 +596,84 @@ class FleetScheduler:
             )
         return True
 
+    # ------------------------------------------------------------------
+    # Chaos fault surface (repro.chaos.ChaosInjector drives these)
+    # ------------------------------------------------------------------
+    def kill_replica(self, index: int, now_ms: float) -> int:
+        """Take replica ``index`` down at ``now_ms``.
+
+        Queued items are orphaned and shed (returned as ``shed`` outcomes
+        at the next :meth:`advance`, so delivery order is unchanged);
+        work whose result was already committed by an earlier drain is
+        unaffected — in the discrete-event model the completion was
+        decided when the item was dispatched.  Returns the number of
+        orphaned items.
+        """
+        replica = self.pool.replicas[index]
+        if not replica.alive:
+            return 0
+        replica.alive = False
+        self.counts["replica_kills"] += 1
+        self._m_replica_down.inc()
+        self._g_live_replicas.set(len(self.pool.live_replicas()))
+        orphans = list(replica.queue)
+        replica.queue.clear()
+        for item in orphans:
+            replica.shed += 1
+            self.counts["shed"] += 1
+            self._m_shed.inc()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "serve.shed",
+                    lane="serve",
+                    ts_ms=now_ms,
+                    frame=item.frame_index,
+                    session=item.session_index,
+                    server=replica.index,
+                    deadline_ms=round(item.deadline_ms, 6),
+                    reason="replica_killed",
+                )
+            self._note_failure(item.session_index, now_ms)
+            self._pending_outcomes.append(
+                ServeOutcome(kind="shed", item=item, server_index=replica.index)
+            )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "serve.replica_down",
+                lane="serve",
+                ts_ms=now_ms,
+                server=index,
+                orphaned=len(orphans),
+                live=len(self.pool.live_replicas()),
+            )
+        return len(orphans)
+
+    def revive_replica(self, index: int, now_ms: float) -> None:
+        """Bring a killed replica back into placement rotation."""
+        replica = self.pool.replicas[index]
+        if replica.alive:
+            return
+        replica.alive = True
+        self.counts["replica_revives"] += 1
+        self._m_replica_up.inc()
+        self._g_live_replicas.set(len(self.pool.live_replicas()))
+        if self.tracer.enabled:
+            self.tracer.event(
+                "serve.replica_up",
+                lane="serve",
+                ts_ms=now_ms,
+                server=index,
+                live=len(self.pool.live_replicas()),
+            )
+
+    def set_latency_scale(self, index: int, scale: float) -> None:
+        """Inflate (or restore) one replica's service time — the chaos
+        straggler fault.  The admission EMA observes the inflated times,
+        so feasibility checks steer load away from the straggler."""
+        if scale <= 0.0:
+            raise ValueError("latency scale must be positive")
+        self.pool.replicas[index].server.latency_scale = scale
+
     def _note_failure(self, session_index: int, now_ms: float) -> None:
         if self.degrade.on_failure(session_index, now_ms):
             self._m_degrade.inc()
@@ -567,6 +695,7 @@ class FleetScheduler:
         for replica in self.pool.replicas:
             entry = {
                 "index": replica.index,
+                "alive": replica.alive,
                 "completed": replica.completed,
                 "shed": replica.shed,
                 "left_in_queue": len(replica.queue),
@@ -592,6 +721,9 @@ class FleetScheduler:
             "admitted": self.counts["admitted"],
             "rejected_queue_full": self.counts["rejected_queue_full"],
             "rejected_infeasible": self.counts["rejected_infeasible"],
+            "rejected_no_replica": self.counts["rejected_no_replica"],
+            "replica_kills": self.counts["replica_kills"],
+            "replica_revives": self.counts["replica_revives"],
             "shed": shed,
             "completed": self.counts["completed"],
             "shed_rate": round(shed / submitted, 6) if submitted else 0.0,

@@ -91,6 +91,12 @@ class Renderer:
 
         object_poses: dict[int, SE3] = {}
         for scene_object in self.objects:
+            # Time-varying textures (e.g. the chaos lighting shift) get
+            # the frame time before any of their texels are sampled.
+            set_time = getattr(scene_object.texture, "set_time", None)
+            if set_time is not None:
+                set_time(time)
+        for scene_object in self.objects:
             pose_wo = scene_object.pose_wo(time)
             if not scene_object.is_background:
                 object_poses[scene_object.instance_id] = pose_wo

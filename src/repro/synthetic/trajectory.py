@@ -15,10 +15,23 @@ from ..geometry.se3 import SE3
 __all__ = ["CameraTrajectory", "WalkTrajectory", "OrbitTrajectory", "MOTION_PRESETS"]
 
 # Speed multiplier and sway amplitude for the Fig. 12 motion grades.
+# ``whip`` is the adversarial chaos grade (docs/scenarios.md): fast
+# translation plus violent yaw oscillation — the view whips across the
+# scene around once a second, so feature tracks die between frames and
+# the VO frontend is starved (the simulator's motion-blur surrogate).
+# The yaw keys are read with defaults, so the Fig. 12 grades are
+# byte-identical to their pre-chaos behavior.
 MOTION_PRESETS: dict[str, dict[str, float]] = {
     "walk": {"speed_scale": 1.0, "sway": 0.01, "bob_hz": 1.6},
     "stride": {"speed_scale": 2.0, "sway": 0.025, "bob_hz": 2.2},
     "jog": {"speed_scale": 3.5, "sway": 0.055, "bob_hz": 3.0},
+    "whip": {
+        "speed_scale": 2.5,
+        "sway": 0.04,
+        "bob_hz": 2.6,
+        "yaw_amp": 0.85,
+        "yaw_hz": 0.9,
+    },
 }
 
 
@@ -55,6 +68,8 @@ class WalkTrajectory(CameraTrajectory):
         self.speed = speed * preset["speed_scale"]
         self.sway = preset["sway"]
         self.bob_hz = preset["bob_hz"]
+        self.yaw_amp = preset.get("yaw_amp", 0.0)
+        self.yaw_hz = preset.get("yaw_hz", 0.0)
         self.look_target = (
             None if look_target is None else np.asarray(look_target, dtype=float)
         )
@@ -94,6 +109,20 @@ class WalkTrajectory(CameraTrajectory):
                 # End of route: keep the last heading.
                 direction = self.waypoints[-1] - self.waypoints[-2]
                 target = position + direction / max(np.linalg.norm(direction), 1e-9)
+        if self.yaw_amp:
+            # Whip-pan: rotate the gaze direction about the vertical axis
+            # (y points down) by an oscillating yaw — guarded so grades
+            # without yaw keys stay bit-identical to the pre-chaos path.
+            yaw = self.yaw_amp * np.sin(2 * np.pi * self.yaw_hz * t)
+            gaze = target - position
+            cos_y, sin_y = np.cos(yaw), np.sin(yaw)
+            target = position + np.array(
+                [
+                    cos_y * gaze[0] + sin_y * gaze[2],
+                    gaze[1],
+                    -sin_y * gaze[0] + cos_y * gaze[2],
+                ]
+            )
         return SE3.look_at(position, target)
 
 

@@ -117,3 +117,79 @@ class TestResultPayloadSchema:
         path = tmp_path / "payload.json"
         save_json(path, payload)
         assert json.loads(path.read_text()) == payload
+
+
+class TestCleanErrors:
+    """Every verb exits with code 2 and a one-line ``error: ...`` message
+    on unknown suite/scenario/fault names — never a traceback."""
+
+    def _run(self, argv, capsys):
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured.err
+
+    def test_serve_unknown_scenario(self, capsys):
+        code, err = self._run(["serve", "--scenario", "meteor-strike"], capsys)
+        assert code == 2
+        assert err.startswith("error: unknown scenario")
+        assert err.count("\n") == 1  # exactly one line
+
+    def test_serve_unknown_fault(self, capsys):
+        code, err = self._run(["serve", "--fault", "cosmic-ray"], capsys)
+        assert code == 2
+        assert err.startswith("error: unknown fault program")
+
+    def test_bench_run_unknown_suite(self, capsys):
+        code, err = self._run(["bench", "run", "--suite", "bogus"], capsys)
+        assert code == 2
+        assert err.startswith("error: unknown suite 'bogus'")
+        assert "available:" in err and "Traceback" not in err
+
+    def test_bench_compare_missing_artifact(self, capsys):
+        code, err = self._run(
+            ["bench", "compare", "/no/such/old.json", "/no/such/new.json"],
+            capsys,
+        )
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "/no/such/old.json" in err
+        assert err.count("\n") == 1
+
+    def test_report_unknown_suite(self, capsys):
+        code, err = self._run(["report", "--suite", "bogus"], capsys)
+        assert code == 2
+        assert err.startswith("error: unknown suite 'bogus'")
+
+    def test_chaos_unknown_scenario(self, capsys):
+        code, err = self._run(["chaos", "--scenario", "bogus"], capsys)
+        assert code == 2
+        assert err.startswith("error: unknown scenario 'bogus'")
+        assert "crowded-occlusion" in err
+
+    def test_chaos_unknown_fault(self, capsys):
+        code, err = self._run(["chaos", "--fault", "bogus"], capsys)
+        assert code == 2
+        assert err.startswith("error: unknown fault program 'bogus'")
+        assert "replica-outage" in err
+
+
+class TestChaosCommand:
+    def test_filtered_cell_certifies(self, capsys, tmp_path):
+        """A single scenario x fault cell runs end to end, prints the
+        certification table, and exits 0 without writing an artifact."""
+        code = main(
+            [
+                "chaos",
+                "--scenario",
+                "lighting-flip",
+                "--fault",
+                "straggler",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lighting-flip+straggler" in out
+        assert "certified: all 1 cells held their error budget" in out
+        assert list(tmp_path.iterdir()) == []  # filtered runs write nothing

@@ -1,0 +1,222 @@
+"""Exhaustive state-transition table for the degrade/recover machine.
+
+``repro.serve.degrade`` has two states (NORMAL, DEGRADED) and four
+events (failure, success, recover-attempt, keyframe-take).  The table
+below enumerates every (state, event) pair — including the ones that
+must be no-ops — and the multi-step journeys the chaos suite leans on:
+re-degrade during staggered re-admission, and the invariant that every
+recovery re-requests a keyframe exactly once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.degrade import DEGRADED, NORMAL, DegradeConfig, DegradeManager
+
+
+def make_manager(
+    num_sessions: int = 3,
+    enabled: bool = True,
+    failure_threshold: int = 2,
+    recover_depth: int = 1,
+    min_degraded_ms: float = 300.0,
+) -> DegradeManager:
+    return DegradeManager(
+        num_sessions,
+        DegradeConfig(
+            enabled=enabled,
+            failure_threshold=failure_threshold,
+            recover_depth=recover_depth,
+            min_degraded_ms=min_degraded_ms,
+        ),
+    )
+
+
+def drive_to_degraded(manager: DegradeManager, session: int = 0, at_ms: float = 100.0):
+    threshold = manager.config.failure_threshold
+    for k in range(threshold):
+        tipped = manager.on_failure(session, at_ms)
+        assert tipped == (k == threshold - 1)
+    assert manager.is_degraded(session)
+
+
+# ----------------------------------------------------------------------
+# The transition table.  Each row: a starting state, an event applied to
+# it, and the expected (state, tipped/recovered, keyframe_pending).
+# "setup" puts session 0 into the named state; "event" is a callable on
+# the manager; "expect" asserts the post-state.
+# ----------------------------------------------------------------------
+def ev_failure(m):
+    return m.on_failure(0, 1000.0)
+
+
+def ev_success(m):
+    m.on_success(0)
+    return None
+
+
+def ev_recover_early(m):
+    # min_degraded_ms has NOT elapsed yet (degraded at 100, now 150).
+    return m.maybe_recover(150.0, queue_depth=0)
+
+
+def ev_recover_ready(m):
+    # min_degraded_ms elapsed and queue drained.
+    return m.maybe_recover(1000.0, queue_depth=0)
+
+
+def ev_recover_deep_queue(m):
+    # Queue still above recover_depth: must refuse even when overdue.
+    return m.maybe_recover(1000.0, queue_depth=5)
+
+
+def ev_take_keyframe(m):
+    return m.take_keyframe_request(0)
+
+
+TRANSITIONS = [
+    # (name, start_state, event, expected_state, expected_return)
+    ("normal+single_failure_stays", NORMAL, ev_failure, NORMAL, False),
+    ("normal+success_noop", NORMAL, ev_success, NORMAL, None),
+    ("normal+recover_noop", NORMAL, ev_recover_ready, NORMAL, None),
+    ("normal+keyframe_noop", NORMAL, ev_take_keyframe, NORMAL, False),
+    ("degraded+failure_stays_degraded", DEGRADED, ev_failure, DEGRADED, False),
+    ("degraded+success_stays_degraded", DEGRADED, ev_success, DEGRADED, None),
+    ("degraded+recover_too_early", DEGRADED, ev_recover_early, DEGRADED, None),
+    ("degraded+recover_queue_deep", DEGRADED, ev_recover_deep_queue, DEGRADED, None),
+    ("degraded+recover_ready", DEGRADED, ev_recover_ready, NORMAL, 0),
+    ("degraded+keyframe_not_yet", DEGRADED, ev_take_keyframe, DEGRADED, False),
+]
+
+
+class TestTransitionTable:
+    @pytest.mark.parametrize(
+        "name,start,event,expected_state,expected_return",
+        TRANSITIONS,
+        ids=[row[0] for row in TRANSITIONS],
+    )
+    def test_pair(self, name, start, event, expected_state, expected_return):
+        manager = make_manager(num_sessions=1)
+        if start == DEGRADED:
+            drive_to_degraded(manager)
+        returned = event(manager)
+        assert returned == expected_return
+        state = DEGRADED if manager.is_degraded(0) else NORMAL
+        assert state == expected_state
+
+    def test_table_covers_every_state_event_pair(self):
+        kind = {
+            ev_failure: "failure",
+            ev_success: "success",
+            ev_recover_early: "recover",
+            ev_recover_ready: "recover",
+            ev_recover_deep_queue: "recover",
+            ev_take_keyframe: "keyframe",
+        }
+        covered = {(row[1], kind[row[2]]) for row in TRANSITIONS}
+        for state in (NORMAL, DEGRADED):
+            for event in ("failure", "success", "recover", "keyframe"):
+                assert (state, event) in covered, f"missing ({state}, {event})"
+
+
+class TestThresholdSemantics:
+    def test_tips_exactly_at_threshold(self):
+        manager = make_manager(num_sessions=1, failure_threshold=3)
+        assert not manager.on_failure(0, 10.0)
+        assert not manager.on_failure(0, 20.0)
+        assert manager.on_failure(0, 30.0)
+        assert manager.sessions[0].degraded_at_ms == 30.0
+
+    def test_success_resets_the_run(self):
+        manager = make_manager(num_sessions=1, failure_threshold=2)
+        manager.on_failure(0, 10.0)
+        manager.on_success(0)
+        assert not manager.on_failure(0, 20.0)  # run restarted, not tipped
+        assert manager.on_failure(0, 30.0)
+
+    def test_disabled_never_degrades(self):
+        manager = make_manager(num_sessions=1, enabled=False)
+        for k in range(10):
+            assert not manager.on_failure(0, float(k))
+        assert not manager.is_degraded(0)
+        assert manager.degrade_events == 0
+
+    def test_failures_beyond_threshold_do_not_redegrade(self):
+        manager = make_manager(num_sessions=1)
+        drive_to_degraded(manager)
+        assert manager.sessions[0].degrade_count == 1
+        manager.on_failure(0, 500.0)
+        manager.on_failure(0, 600.0)
+        assert manager.sessions[0].degrade_count == 1
+        assert manager.degrade_events == 1
+
+
+class TestStaggeredRecovery:
+    def test_one_session_per_call_oldest_first(self):
+        manager = make_manager(num_sessions=3)
+        for session, at_ms in ((2, 100.0), (0, 200.0), (1, 300.0)):
+            for _ in range(2):
+                manager.on_failure(session, at_ms)
+        assert manager.degraded_sessions() == [0, 1, 2]
+        # Oldest degraded first: 2 (t=100), then 0 (t=200), then 1.
+        assert manager.maybe_recover(1000.0, queue_depth=0) == 2
+        assert manager.maybe_recover(1000.0, queue_depth=0) == 0
+        assert manager.maybe_recover(1000.0, queue_depth=0) == 1
+        assert manager.maybe_recover(1000.0, queue_depth=0) is None
+        assert manager.recover_events == 3
+
+    def test_recovery_always_requests_keyframe_exactly_once(self):
+        manager = make_manager(num_sessions=2)
+        drive_to_degraded(manager, session=0)
+        drive_to_degraded(manager, session=1)
+        recovered = manager.maybe_recover(1000.0, queue_depth=0)
+        assert recovered == 0
+        # The one-shot keyframe flag: set by recovery, consumed once.
+        assert manager.take_keyframe_request(0) is True
+        assert manager.take_keyframe_request(0) is False
+        # The still-degraded session has no pending keyframe.
+        assert manager.take_keyframe_request(1) is False
+
+    def test_redegrade_during_staggered_readmission(self):
+        """A recovered session that immediately fails again re-degrades,
+        gets a fresh degraded_at_ms, and recovers again later — the
+        keyframe flag from the aborted recovery does not leak."""
+        manager = make_manager(num_sessions=2)
+        drive_to_degraded(manager, session=0, at_ms=100.0)
+        drive_to_degraded(manager, session=1, at_ms=150.0)
+        assert manager.maybe_recover(500.0, queue_depth=0) == 0
+
+        # Session 0 re-fails before its keyframe was even consumed.
+        manager.on_failure(0, 510.0)
+        manager.on_failure(0, 520.0)
+        assert manager.is_degraded(0)
+        assert manager.sessions[0].degrade_count == 2
+        # Re-degrading clears the stale keyframe flag.
+        assert manager.take_keyframe_request(0) is False
+
+        # Next recovery slot goes to session 1 (older: 150 < 520).
+        assert manager.maybe_recover(900.0, queue_depth=0) == 1
+        # Session 0's fresh min_degraded_ms window applies: 520 + 300.
+        assert manager.maybe_recover(800.0, queue_depth=0) is None
+        assert manager.maybe_recover(900.0, queue_depth=0) == 0
+        assert manager.take_keyframe_request(0) is True
+        assert manager.recover_events == 3
+
+    def test_recover_depth_gate(self):
+        manager = make_manager(num_sessions=1, recover_depth=2)
+        drive_to_degraded(manager)
+        assert manager.maybe_recover(1000.0, queue_depth=3) is None
+        assert manager.maybe_recover(1000.0, queue_depth=2) == 0
+
+
+class TestStats:
+    def test_stats_shape_and_counts(self):
+        manager = make_manager(num_sessions=2)
+        drive_to_degraded(manager, session=1)
+        stats = manager.stats()
+        assert stats["degrade_events"] == 1
+        assert stats["recover_events"] == 0
+        assert stats["degraded_at_end"] == [1]
+        assert stats["per_session"]["1"]["state"] == DEGRADED
+        assert stats["per_session"]["0"]["state"] == NORMAL

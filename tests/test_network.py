@@ -113,3 +113,102 @@ class TestSpawnChannelRngs:
         assert spawn_channel_rngs(0, 0) == []
         with pytest.raises(ValueError):
             spawn_channel_rngs(0, -1)
+
+    def test_streams_unchanged_by_fleet_size(self):
+        """Growing the fleet must not perturb existing sessions' streams:
+        stream i is the same whether 2 or 8 children are spawned."""
+        small = spawn_channel_rngs(7, 2)
+        large = spawn_channel_rngs(7, 8)
+        for a, b in zip(small, large):
+            assert list(a.uniform(size=16)) == list(b.uniform(size=16))
+
+
+class TestHandoff:
+    def test_handoff_swaps_profile_at_instant(self):
+        channel = make_channel("wifi_5ghz", np.random.default_rng(0))
+        channel.schedule_handoff(700.0, "lte")
+        assert channel.profile_at(699.9).name == "wifi_5ghz"
+        assert channel.profile_at(700.0).name == "lte"
+        assert channel.profile_at(10_000.0).name == "lte"
+
+    def test_handoff_accepts_profile_object_and_rejects_unknown(self):
+        channel = make_channel("wifi_5ghz")
+        channel.schedule_handoff(10.0, CHANNELS["lte"])
+        assert channel.profile_at(10.0).name == "lte"
+        with pytest.raises(ValueError, match="unknown channel"):
+            make_channel("wifi_5ghz").schedule_handoff(10.0, "5g_mmwave")
+
+    def test_legacy_no_now_keeps_base_profile(self):
+        channel = make_channel("wifi_5ghz", np.random.default_rng(0))
+        channel.schedule_handoff(0.0, "lte")
+        # Callers that never pass now_ms stay on the base profile forever.
+        assert channel.profile_at(None).name == "wifi_5ghz"
+
+    def test_prefix_bit_identical_before_handoff(self):
+        """A handoff at t leaves every transfer initiated before t
+        bit-identical to the unmodified channel — the schedule adds no
+        RNG draws."""
+        plain = make_channel("wifi_5ghz", np.random.default_rng(9))
+        handed = make_channel("wifi_5ghz", np.random.default_rng(9))
+        handed.schedule_handoff(700.0, "lte")
+        times = [0.0, 100.0, 250.0, 400.0, 550.0, 699.0]
+        for now in times:
+            assert handed.uplink_ms(20_000, now_ms=now) == plain.uplink_ms(
+                20_000, now_ms=now
+            )
+        # At/after the instant the profiles differ, so latencies diverge
+        # (LTE's rtt/2 alone exceeds WiFi 5 GHz's typical total here) —
+        # but both channels still consume the same number of draws.
+        after_handed = handed.uplink_ms(20_000, now_ms=800.0)
+        after_plain = plain.uplink_ms(20_000, now_ms=800.0)
+        assert after_handed != after_plain
+        assert handed.uplink_ms(20_000, now_ms=900.0) != plain.uplink_ms(
+            20_000, now_ms=900.0
+        )
+        # Post-divergence the streams are still aligned: re-running the
+        # whole history on fresh channels reproduces both sequences.
+        replay = make_channel("wifi_5ghz", np.random.default_rng(9))
+        replay.schedule_handoff(700.0, "lte")
+        for now in times:
+            replay.uplink_ms(20_000, now_ms=now)
+        assert replay.uplink_ms(20_000, now_ms=800.0) == after_handed
+
+    def test_handoff_count_increments_once(self):
+        channel = make_channel("wifi_5ghz", np.random.default_rng(1))
+        channel.schedule_handoff(100.0, "lte")
+        for now in (0.0, 50.0, 150.0, 200.0, 300.0):
+            channel.uplink_ms(1000, now_ms=now)
+        assert channel.handoff_count == 1
+
+    def test_multiple_handoffs_sorted_by_instant(self):
+        channel = make_channel("wifi_5ghz")
+        channel.schedule_handoff(500.0, "wifi_2.4ghz")
+        channel.schedule_handoff(200.0, "lte")  # scheduled out of order
+        assert channel.profile_at(100.0).name == "wifi_5ghz"
+        assert channel.profile_at(300.0).name == "lte"
+        assert channel.profile_at(600.0).name == "wifi_2.4ghz"
+
+
+class TestStall:
+    def test_stall_window_holds_transfer_until_release(self):
+        plain = make_channel("wifi_5ghz", np.random.default_rng(3))
+        stalled = make_channel("wifi_5ghz", np.random.default_rng(3))
+        stalled.schedule_stall(100.0, 50.0)
+        # Outside the window: identical.
+        assert stalled.uplink_ms(1000, now_ms=50.0) == plain.uplink_ms(
+            1000, now_ms=50.0
+        )
+        # Inside: the held transfer pays exactly the remaining window.
+        inside = stalled.uplink_ms(1000, now_ms=120.0)
+        base = plain.uplink_ms(1000, now_ms=120.0)
+        assert inside == pytest.approx(base + 30.0)
+        assert stalled.stall_hits == 1
+        # The window is half-open: at release the link is back.
+        assert stalled.uplink_ms(1000, now_ms=150.0) == plain.uplink_ms(
+            1000, now_ms=150.0
+        )
+
+    def test_stall_duration_must_be_positive(self):
+        channel = make_channel("wifi_5ghz")
+        with pytest.raises(ValueError, match="positive"):
+            channel.schedule_stall(10.0, 0.0)

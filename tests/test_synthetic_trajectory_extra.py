@@ -53,12 +53,20 @@ class TestWalkParametrization:
         assert spans["jog"] > 2 * spans["walk"]
 
     def test_presets_cover_paper_grades(self):
-        assert set(MOTION_PRESETS) == {"walk", "stride", "jog"}
+        # Fig. 12 grades plus the adversarial chaos grade (docs/scenarios.md).
+        assert {"walk", "stride", "jog", "whip"} <= set(MOTION_PRESETS)
         assert (
             MOTION_PRESETS["walk"]["speed_scale"]
             < MOTION_PRESETS["stride"]["speed_scale"]
             < MOTION_PRESETS["jog"]["speed_scale"]
         )
+
+    def test_paper_grades_have_no_yaw(self):
+        # Only chaos grades carry yaw keys — the Fig. 12 grades must stay
+        # byte-identical to their pre-chaos trajectories.
+        for grade in ("walk", "stride", "jog"):
+            assert "yaw_amp" not in MOTION_PRESETS[grade]
+        assert MOTION_PRESETS["whip"]["yaw_amp"] > 0.0
 
 
 class TestOrbit:
