@@ -156,6 +156,10 @@ class ChaosInjector:
                 self._apply_end(fault, now_ms)
 
     def _apply_start(self, fault: FaultSpec, now_ms: float) -> None:
+        # ``until_ms`` is the *scheduled* window end: lineage analysis
+        # needs the full fault window even when the run ends mid-fault
+        # (the matching ``*_off`` / ``*_revived`` note never fires).
+        until = round(fault.at_ms + fault.duration_ms, 6) if fault.duration_ms else None
         if fault.kind == "kill_replica":
             orphaned = self._scheduler.kill_replica(fault.target, now_ms)
             self.note(
@@ -163,6 +167,7 @@ class ChaosInjector:
                 ts_ms=round(now_ms, 6),
                 server=fault.target,
                 orphaned=orphaned,
+                **({"until_ms": until} if until is not None else {}),
             )
         elif fault.kind == "straggler":
             self._scheduler.set_latency_scale(fault.target, fault.factor)
@@ -171,6 +176,7 @@ class ChaosInjector:
                 ts_ms=round(now_ms, 6),
                 server=fault.target,
                 factor=fault.factor,
+                **({"until_ms": until} if until is not None else {}),
             )
         elif fault.kind == "stall_channel":
             # The stall itself was pre-scheduled in bind(); this entry
@@ -180,6 +186,7 @@ class ChaosInjector:
                 ts_ms=round(now_ms, 6),
                 session=fault.target,
                 duration_ms=round(fault.duration_ms, 6),
+                **({"until_ms": until} if until is not None else {}),
             )
 
     def _apply_end(self, fault: FaultSpec, now_ms: float) -> None:

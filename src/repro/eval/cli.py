@@ -34,6 +34,7 @@ from ..obs import (
     FRAME_BUDGET_MS,
     SUITES,
     build_report,
+    build_why,
     compare_payloads,
     evaluate_slo,
     mean_frame_latency_ms,
@@ -46,6 +47,7 @@ from ..obs import (
     write_jsonl,
     write_report,
     write_trend_report,
+    write_why,
 )
 from ..serve import POLICY_NAMES
 from ..synthetic.datasets import COMPLEXITY_LEVELS, DATASET_NAMES
@@ -508,6 +510,41 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_why(args) -> int:
+    """Re-run a suite traced and explain every deadline miss: ranked
+    root causes per scenario plus per-frame critical-path waterfalls."""
+    why = build_why(
+        args.suite,
+        args.label,
+        scenario=args.scenario,
+        session=args.session,
+        frame=args.frame,
+        budget_ms=args.budget_ms,
+    )
+    print(why["markdown"], end="")
+    table = Table(
+        f"why {args.suite} [{args.label}] — miss root causes",
+        ["scenario", "misses", "classified", "unclassified", "top cause"],
+    )
+    for name in sorted(why["scenarios"]):
+        summary = why["scenarios"][name]
+        table.add_row(
+            name,
+            summary["misses"],
+            summary["classified"],
+            summary["unclassified"],
+            summary["top_cause"] or "-",
+        )
+    table.print()
+    if args.out is not None:
+        path = write_why(why["markdown"], args.out, args.suite, args.label)
+        print(f"wrote  {path}")
+    if why["unclassified"] > 0:
+        print(f"UNCLASSIFIED: {why['unclassified']} miss(es) have no cause")
+        return 1
+    return 0
+
+
 def _cmd_list(args) -> int:
     print("systems:   ", ", ".join(SYSTEM_NAMES))
     print("ablations: ", ", ".join(ABLATION_NAMES))
@@ -782,6 +819,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-frame deadline for SLO evaluation (default 33.33 ms = 30 fps)",
     )
     chaos_parser.set_defaults(func=_cmd_chaos)
+
+    why_parser = subparsers.add_parser(
+        "why",
+        help="explain deadline misses: per-frame critical-path waterfalls"
+        " and a ranked miss-cause table for a bench suite",
+    )
+    why_parser.add_argument(
+        "suite",
+        nargs="?",
+        default="fleet",
+        help=f"suite to analyze ({', '.join(sorted(SUITES))})",
+    )
+    why_parser.add_argument(
+        "--scenario", default=None, help="restrict to one suite cell"
+    )
+    why_parser.add_argument(
+        "--session", type=int, default=None, help="show only this session's misses"
+    )
+    why_parser.add_argument(
+        "--frame", type=int, default=None, help="show only this frame's miss"
+    )
+    why_parser.add_argument(
+        "--label", default="dev", help="report label (WHY_<suite>_<label>.md)"
+    )
+    why_parser.add_argument(
+        "--out",
+        default=None,
+        help="also write WHY_<suite>_<label>.md into this directory",
+    )
+    why_parser.add_argument(
+        "--budget-ms",
+        type=float,
+        default=FRAME_BUDGET_MS,
+        help="per-frame deadline for miss attribution (default 33.33 ms = 30 fps)",
+    )
+    why_parser.set_defaults(func=_cmd_why)
 
     list_parser = subparsers.add_parser("list", help="list available names")
     list_parser.set_defaults(func=_cmd_list)

@@ -23,7 +23,10 @@ __all__ = ["SCHEMA_VERSION", "Table", "format_cdf", "result_payload", "save_json
 # ``repro bench compare``; suite payloads record ``slo_target``.
 # v4: kernel micro cells (``kernel`` section, gated ``speedup_x``);
 # fleet cells carry batching spec/stats and ``serve.batch.*`` counters.
-SCHEMA_VERSION = 4
+# v5: per-cell ``miss_causes`` section (deadline-miss root causes,
+# gated ``unclassified``/per-cause counts); trace records carry request
+# contexts (``session``/``trace`` keys, batch ``traces`` membership).
+SCHEMA_VERSION = 5
 
 
 @dataclass

@@ -69,6 +69,11 @@ class Channel:
         self._active_name = profile.name
         self.handoff_count = 0
         self.stall_hits = 0
+        # Metadata of the most recent transfer, for span annotation:
+        # which link carried it and how long a partition window held it.
+        # Pure bookkeeping — reading or ignoring it never changes a draw.
+        self.last_link = profile.name
+        self.last_stall_ms = 0.0
 
     # ------------------------------------------------------------------
     # Chaos / scenario schedule
@@ -126,13 +131,16 @@ class Channel:
             # A loss event stalls for roughly one RTO (~2 RTT here).
             latency += 2.0 * profile.rtt_ms
         release = self._stall_release(now_ms)
+        self.last_stall_ms = 0.0
         if release is not None:
             # Partitioned: the transfer only starts once the window ends.
             self.stall_hits += 1
+            self.last_stall_ms = release - now_ms
             latency += release - now_ms
         return latency
 
     def _note_profile(self, profile: ChannelProfile) -> None:
+        self.last_link = profile.name
         if profile.name != self._active_name:
             self._active_name = profile.name
             self.handoff_count += 1

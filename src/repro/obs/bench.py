@@ -36,6 +36,7 @@ from pathlib import Path
 import numpy as np
 
 from .budget import DEFAULT_SLO_TARGET, evaluate_error_budget
+from .critical import miss_causes
 from .metrics import Histogram
 from .slo import FRAME_BUDGET_MS, evaluate_slo, exact_percentile
 from .trace import Tracer
@@ -391,6 +392,9 @@ def run_scenario_observed(
             tracer, budget_ms=budget_ms, warmup_frames=scenario.warmup_frames
         ),
         "budget": _lean_budget(budget_report),
+        "miss_causes": miss_causes(
+            tracer, budget_ms, warmup_frames=scenario.warmup_frames
+        ),
         "offload": {
             "offload_count": int(outcome.result.offload_count),
             "bytes_up": int(outcome.result.bytes_up),
@@ -547,6 +551,9 @@ def _run_fleet_scenario(
             tracer, budget_ms=budget_ms, warmup_frames=scenario.warmup_frames
         ),
         "budget": _lean_budget(budget_report),
+        "miss_causes": miss_causes(
+            tracer, budget_ms, warmup_frames=scenario.warmup_frames
+        ),
         "offload": {
             "offload_count": int(offload_count),
             "bytes_up": int(bytes_up),

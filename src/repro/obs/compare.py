@@ -60,11 +60,21 @@ _BURN_POLICY = MetricPolicy(False, 0.25, 0.5)
 # run at threshold scale 1: a drop in a positive ratio is bounded at
 # -100%, so any scale >= 2 makes it ungateable.
 _SPEEDUP_POLICY = MetricPolicy(True, 0.60, 1.0)
+# Miss-cause accounting: unclassified misses must stay at zero (any
+# growth is a classifier hole — tight 0.5 absolute floor); per-cause
+# counts are small integers, so gate only a real shift (>=25% and >=2
+# misses moving to a cause).
+_UNCLASSIFIED_POLICY = MetricPolicy(False, 0.25, 0.5)
+_CAUSE_COUNT_POLICY = MetricPolicy(False, 0.25, 2.0)
 
 
 def policy_for(path: str) -> MetricPolicy | None:
     """Gating policy for a metric path; None = informational only."""
     leaf = path.rsplit(".", 1)[-1]
+    if ".miss_causes." in path:
+        if leaf == "unclassified":
+            return _UNCLASSIFIED_POLICY
+        return _CAUSE_COUNT_POLICY
     if leaf == "mean_iou":
         return _IOU_POLICY
     if leaf == "worst_streak":
@@ -125,6 +135,17 @@ def iter_metric_paths(payload: dict):
             # NaN (empty trace) is not comparable — skip it.
             if key in budget and budget[key] == budget[key]:
                 yield f"{scenario_name}.budget.{key}", float(budget[key])
+        causes = scenario.get("miss_causes", {})
+        if causes:
+            yield (
+                f"{scenario_name}.miss_causes.unclassified",
+                float(causes.get("unclassified", 0)),
+            )
+            for cause in sorted(causes.get("causes", {})):
+                yield (
+                    f"{scenario_name}.miss_causes.causes.{cause}",
+                    float(causes["causes"][cause]),
+                )
         for stage_name in sorted(scenario.get("stages", {})):
             stats = scenario["stages"][stage_name]
             for key in ("mean_ms", "p50_ms", "p90_ms", "p99_ms"):

@@ -108,6 +108,8 @@ def chrome_trace(tracer: Tracer, process_name: str = "edgeis") -> dict:
         args = dict(span.attrs)
         if span.frame is not None:
             args["frame"] = span.frame
+        if span.ctx is not None:
+            args["trace"] = span.ctx.trace_id
         if span.wall_ms is not None:
             args["wall_ms"] = round(span.wall_ms, 3)
         trace_events.append(
@@ -126,6 +128,8 @@ def chrome_trace(tracer: Tracer, process_name: str = "edgeis") -> dict:
         args = dict(event.attrs)
         if event.frame is not None:
             args["frame"] = event.frame
+        if event.ctx is not None:
+            args["trace"] = event.ctx.trace_id
         trace_events.append(
             {
                 "ph": "i",
@@ -138,7 +142,44 @@ def chrome_trace(tracer: Tracer, process_name: str = "edgeis") -> dict:
                 "args": args,
             }
         )
+    trace_events.extend(_lineage_flow_events(tracer, tids))
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def _lineage_flow_events(tracer: Tracer, tids: dict[str, int]) -> list[dict]:
+    """Flow events stitching each request's spans across lanes.
+
+    One flow per :class:`~repro.obs.trace.RequestContext` (start ->
+    steps -> end at the request's spans, in causal order), so Perfetto
+    draws arrows client -> channel -> server -> channel -> client.  Flow
+    ids come from ``RequestContext.flow_id`` — a pure function of
+    ``(session, frame)``, byte-stable across processes (never ``id()``).
+    """
+    groups: dict[tuple[int, int], list] = {}
+    for span in tracer.spans:
+        if span.ctx is not None:
+            groups.setdefault((span.ctx.session, span.ctx.frame), []).append(span)
+    flow_events: list[dict] = []
+    for key in sorted(groups):
+        spans = sorted(groups[key], key=lambda s: (s.start_ms, s.seq))
+        if len(spans) < 2:
+            continue
+        for index, span in enumerate(spans):
+            phase = "s" if index == 0 else ("f" if index == len(spans) - 1 else "t")
+            record = {
+                "ph": phase,
+                "pid": 1,
+                "tid": tids[span.lane],
+                "name": "request",
+                "cat": "lineage",
+                "id": span.ctx.flow_id,
+                "ts": round(span.start_ms * 1000.0, 3),
+                "args": {"trace": span.ctx.trace_id},
+            }
+            if phase == "f":
+                record["bp"] = "e"
+            flow_events.append(record)
+    return flow_events
 
 
 def write_chrome_trace(

@@ -29,7 +29,41 @@ from dataclasses import dataclass, field
 
 from .metrics import NULL_METRICS, MetricsRegistry
 
-__all__ = ["Span", "TraceEvent", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = [
+    "RequestContext",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+]
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """Causal identity of one frame's journey through the system.
+
+    A context is minted when a frame enters the pipeline (``session`` is
+    the client index, 0 for single-client runs; ``frame`` the capture
+    index) and travels with the request across every layer — client,
+    channel, scheduler, replica, delivery — so spans and events recorded
+    on different lanes share one ``trace_id`` and can be stitched back
+    into a lineage (:mod:`repro.obs.lineage`).  Both derived identifiers
+    are pure functions of ``(session, frame)``: byte-stable across runs
+    and processes, never derived from object identity.
+    """
+
+    session: int
+    frame: int
+
+    @property
+    def trace_id(self) -> str:
+        return f"s{self.session}-f{self.frame}"
+
+    @property
+    def flow_id(self) -> int:
+        """Deterministic integer id for Chrome trace flow events."""
+        return self.session * 1_000_000 + self.frame + 1
 
 
 @dataclass
@@ -46,6 +80,7 @@ class Span:
     frame: int | None = None
     attrs: dict = field(default_factory=dict)
     wall_ms: float | None = None  # only in wall-clock mode
+    ctx: RequestContext | None = None
 
     @property
     def end_ms(self) -> float:
@@ -64,6 +99,9 @@ class Span:
         }
         if self.frame is not None:
             record["frame"] = self.frame
+        if self.ctx is not None:
+            record["session"] = self.ctx.session
+            record["trace"] = self.ctx.trace_id
         if self.attrs:
             record["attrs"] = self.attrs
         if self.wall_ms is not None:
@@ -82,6 +120,7 @@ class TraceEvent:
     ts_ms: float
     frame: int | None = None
     attrs: dict = field(default_factory=dict)
+    ctx: RequestContext | None = None
 
     def to_record(self) -> dict:
         record = {
@@ -93,6 +132,9 @@ class TraceEvent:
         }
         if self.frame is not None:
             record["frame"] = self.frame
+        if self.ctx is not None:
+            record["session"] = self.ctx.session
+            record["trace"] = self.ctx.trace_id
         if self.attrs:
             record["attrs"] = self.attrs
         return record
@@ -180,6 +222,7 @@ class Tracer:
         frame: int | None = None,
         start_ms: float | None = None,
         dur_ms: float = 0.0,
+        ctx: RequestContext | None = None,
         **attrs,
     ) -> _ActiveSpan:
         span = Span(
@@ -192,6 +235,7 @@ class Tracer:
             dur_ms=float(dur_ms),
             frame=frame,
             attrs=attrs,
+            ctx=ctx,
         )
         self._next_id += 1
         return _ActiveSpan(self, span)
@@ -204,6 +248,7 @@ class Tracer:
         frame: int | None = None,
         start_ms: float | None = None,
         dur_ms: float = 0.0,
+        ctx: RequestContext | None = None,
         **attrs,
     ) -> Span:
         """Record an already-complete span (pure simulated duration)."""
@@ -217,6 +262,7 @@ class Tracer:
             dur_ms=float(dur_ms),
             frame=frame,
             attrs=attrs,
+            ctx=ctx,
         )
         self._next_id += 1
         self._finish_span(span)
@@ -229,6 +275,7 @@ class Tracer:
         lane: str = "client",
         ts_ms: float | None = None,
         frame: int | None = None,
+        ctx: RequestContext | None = None,
         **attrs,
     ) -> TraceEvent:
         record = TraceEvent(
@@ -238,6 +285,7 @@ class Tracer:
             ts_ms=self.now_ms if ts_ms is None else float(ts_ms),
             frame=frame,
             attrs=attrs,
+            ctx=ctx,
         )
         self._next_seq += 1
         self.events.append(record)
@@ -267,10 +315,21 @@ class Tracer:
 
 
 class _NullSpan:
-    """Reusable do-nothing span context manager."""
+    """Reusable do-nothing span context manager.
+
+    API parity with :class:`_ActiveSpan` is a contract (enforced by
+    ``tests/test_obs.py``): instrumented code must never branch on the
+    tracer type, so every public attribute of the live span exists here
+    too.  ``span`` hands out a shared throwaway :class:`Span` sink —
+    anything written to it is garbage by design.
+    """
 
     __slots__ = ()
     dur_ms = 0.0
+
+    @property
+    def span(self) -> Span:
+        return _NULL_SPAN_RECORD
 
     def set_sim(self, start_ms=None, dur_ms=None):
         return self
@@ -287,6 +346,12 @@ class _NullSpan:
     def __setattr__(self, name, value):  # swallow `sp.dur_ms = ...`
         pass
 
+
+# The sink behind ``_NullSpan.span``: one shared, never-exported record.
+_NULL_SPAN_RECORD = Span(
+    seq=-1, span_id=0, parent_id=None, name="null", lane="null",
+    start_ms=0.0, dur_ms=0.0,
+)
 
 _NULL_SPAN = _NullSpan()
 

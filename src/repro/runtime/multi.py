@@ -24,14 +24,16 @@ from dataclasses import dataclass, field
 from ..encoding.mask_codec import encoded_size_bytes
 from ..image.masks import InstanceMask, mask_iou
 from ..network.channel import Channel
-from ..obs.trace import NULL_TRACER, Tracer
+from ..obs.trace import NULL_TRACER, RequestContext, Tracer
 from ..synthetic.world import SyntheticVideo
 from .interface import ClientSystem
 from .pipeline import (
     RESULT_HEADER_BYTES,
     EdgeServer,
     FrameMetric,
+    PipelineMetrics,
     RunResult,
+    _channel_transfer_attrs,
     _PendingDelivery,
 )
 
@@ -102,13 +104,9 @@ class MultiClientPipeline:
         # Optional repro.chaos.ChaosInjector, ticked at the top of every
         # frame tick so faults land at deterministic sim-clock instants.
         self.chaos = chaos
-        metrics = self.tracer.metrics
-        self._m_frames = metrics.counter("pipeline.frames")
-        self._m_deadline_miss = metrics.counter("pipeline.deadline_miss")
-        self._h_frame_latency = metrics.histogram("pipeline.frame_latency_ms")
-        # Fleet-wide live gauges for the timeline sampler.
-        self._g_latency_ewma = metrics.gauge("pipeline.frame_latency_ewma_ms")
-        self._g_pending = metrics.gauge("pipeline.pending_deliveries")
+        # Same instrument names as the single-client pipeline, by
+        # construction (one shared registration helper).
+        self.pm = PipelineMetrics.register(self.tracer.metrics)
         self._latency_ewma: float | None = None
         # One client+channel lane pair per device, one shared server lane.
         for index, session in enumerate(self.sessions):
@@ -139,7 +137,7 @@ class MultiClientPipeline:
                 self._step_session(
                     session, session_index, frame_index, now, frame_interval
                 )
-            self._g_pending.set(
+            self.pm.pending.set(
                 sum(len(session.pending) for session in self.sessions)
             )
             if self.sampler is not None:
@@ -186,9 +184,11 @@ class MultiClientPipeline:
                     frame=outcome.item.frame_index,
                     start_ms=outcome.completion_ms,
                     dur_ms=downlink,
+                    ctx=outcome.item.ctx,
                     payload_bytes=int(result_bytes),
                     num_masks=len(outcome.masks),
                     server=outcome.server_index,
+                    **_channel_transfer_attrs(session.channel),
                 )
             session.pending.append(
                 _PendingDelivery(
@@ -233,10 +233,12 @@ class MultiClientPipeline:
             integration_start = max(session.busy_until_ms, now)
             session.busy_until_ms = integration_start + integration
             if tracer.enabled:
+                delivery_ctx = RequestContext(session_index, delivery.frame_index)
                 tracer.event(
                     "client.result_delivered",
                     lane=session.client_lane,
                     frame=delivery.frame_index,
+                    ctx=delivery_ctx,
                     arrive_ms=round(delivery.arrive_ms, 6),
                     num_masks=len(delivery.masks),
                 )
@@ -246,15 +248,18 @@ class MultiClientPipeline:
                     frame=delivery.frame_index,
                     start_ms=integration_start,
                     dur_ms=integration,
+                    ctx=delivery_ctx,
                 )
 
         offloaded = False
+        frame_ctx = RequestContext(session_index, frame_index)
         if session.busy_until_ms <= now:
             with tracer.span(
                 "client.process",
                 lane=session.client_lane,
                 frame=frame_index,
                 start_ms=now,
+                ctx=frame_ctx,
             ) as span:
                 output = session.client.process_frame(frame, truth, now)
                 span.dur_ms = output.compute_ms
@@ -281,6 +286,7 @@ class MultiClientPipeline:
                 frame=frame_index,
                 start_ms=now,
                 dur_ms=latency,
+                ctx=frame_ctx,
                 busy_until_ms=round(session.busy_until_ms, 6),
             )
 
@@ -289,20 +295,21 @@ class MultiClientPipeline:
             if self.deadline_budget_ms is not None
             else frame_interval
         )
-        self._m_frames.inc()
-        self._h_frame_latency.observe(latency)
+        self.pm.frames.inc()
+        self.pm.frame_latency.observe(latency)
         if self._latency_ewma is None:
             self._latency_ewma = latency
         else:
             self._latency_ewma += 0.2 * (latency - self._latency_ewma)
-        self._g_latency_ewma.set(self._latency_ewma)
+        self.pm.latency_ewma.set(self._latency_ewma)
         if latency > deadline_ms:
-            self._m_deadline_miss.inc()
+            self.pm.deadline_miss.inc()
             if tracer.enabled:
                 tracer.event(
                     "frame.deadline_miss",
                     lane=session.client_lane,
                     frame=frame_index,
+                    ctx=frame_ctx,
                     latency_ms=round(latency, 6),
                     budget_ms=round(deadline_ms, 6),
                     over_ms=round(latency - deadline_ms, 6),
@@ -334,12 +341,14 @@ class MultiClientPipeline:
     def _dispatch(self, session, session_index, request, send_time_ms, now) -> None:
         frame, truth = session.video.frame_at(request.frame_index)
         tracer = self.tracer
+        ctx = RequestContext(session_index, request.frame_index)
         if tracer.enabled:
             tracer.event(
                 "offload.dispatch",
                 lane=session.channel_lane,
                 ts_ms=send_time_ms,
                 frame=request.frame_index,
+                ctx=ctx,
                 reason=request.reason,
                 payload_bytes=int(request.payload_bytes),
                 encode_ms=round(request.encode_ms, 6),
@@ -360,8 +369,10 @@ class MultiClientPipeline:
                 frame=request.frame_index,
                 start_ms=send_time_ms + request.encode_ms,
                 dur_ms=uplink,
+                ctx=ctx,
                 payload_bytes=int(request.payload_bytes),
                 server_free_on_arrival=backend_free,
+                **_channel_transfer_attrs(session.channel),
             )
 
         if self.scheduler is not None:
@@ -385,7 +396,7 @@ class MultiClientPipeline:
             return
 
         completion, detections = self.server.submit(
-            request, truth.masks, frame.shape, arrive
+            request, truth.masks, frame.shape, arrive, ctx=ctx
         )
         result_bytes = encoded_size_bytes(detections) + RESULT_HEADER_BYTES
         downlink = session.channel.downlink_ms(result_bytes, now_ms=completion)
@@ -396,8 +407,10 @@ class MultiClientPipeline:
                 frame=request.frame_index,
                 start_ms=completion,
                 dur_ms=downlink,
+                ctx=ctx,
                 payload_bytes=int(result_bytes),
                 num_masks=len(detections),
+                **_channel_transfer_attrs(session.channel),
             )
         session.pending.append(
             _PendingDelivery(

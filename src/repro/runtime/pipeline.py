@@ -28,13 +28,61 @@ from ..image.masks import InstanceMask, mask_iou
 from ..model.degrade import degrade_mask_to_iou
 from ..model.maskrcnn import SimulatedSegmentationModel
 from ..network.channel import Channel
-from ..obs.trace import NULL_TRACER, Tracer
+from ..obs.trace import NULL_TRACER, RequestContext, Tracer
 from ..synthetic.world import SyntheticVideo
 from .interface import ClientSystem, OffloadRequest
 
-__all__ = ["FrameMetric", "RunResult", "EdgeServer", "Pipeline"]
+__all__ = [
+    "FrameMetric",
+    "RunResult",
+    "EdgeServer",
+    "Pipeline",
+    "PipelineMetrics",
+]
 
 RESULT_HEADER_BYTES = 200  # transport/container overhead per result
+
+
+@dataclass
+class PipelineMetrics:
+    """The ``pipeline.*`` instruments shared by every pipeline flavor.
+
+    Registered through one helper so the single-client
+    (:class:`Pipeline`) and multi-client
+    (:class:`~repro.runtime.multi.MultiClientPipeline`) paths can never
+    drift on counter/gauge names — dashboards and BENCH counters see one
+    vocabulary regardless of topology.
+    """
+
+    frames: object
+    deadline_miss: object
+    frame_latency: object
+    latency_ewma: object
+    pending: object
+
+    @classmethod
+    def register(cls, metrics) -> "PipelineMetrics":
+        return cls(
+            frames=metrics.counter("pipeline.frames"),
+            deadline_miss=metrics.counter("pipeline.deadline_miss"),
+            frame_latency=metrics.histogram("pipeline.frame_latency_ms"),
+            # Live gauges the timeline sampler snapshots: an EWMA of
+            # display latency and the number of results still in flight.
+            latency_ewma=metrics.gauge("pipeline.frame_latency_ewma_ms"),
+            pending=metrics.gauge("pipeline.pending_deliveries"),
+        )
+
+
+def _channel_transfer_attrs(channel: Channel) -> dict:
+    """Span attrs describing the channel's most recent transfer: the
+    stall the partition window added (when any) and the carrying link
+    (only when a scheduled handoff moved it off the base profile)."""
+    attrs = {}
+    if channel.last_stall_ms > 0.0:
+        attrs["stall_ms"] = round(channel.last_stall_ms, 6)
+    if channel.last_link != channel.profile.name:
+        attrs["link"] = channel.last_link
+    return attrs
 
 
 @dataclass
@@ -227,6 +275,7 @@ class EdgeServer:
         truth_masks: list[InstanceMask],
         image_shape: tuple[int, int],
         arrive_ms: float,
+        ctx: RequestContext | None = None,
     ) -> tuple[float, list[InstanceMask]]:
         """Run inference; returns (completion time ms, detections)."""
         start = max(arrive_ms, self.free_at_ms)
@@ -244,6 +293,7 @@ class EdgeServer:
                 lane=self.lane,
                 ts_ms=arrive_ms,
                 frame=request.frame_index,
+                ctx=ctx,
                 was_free=self.is_free_at(arrive_ms),
             )
         result, detections = self._infer_one(request, truth_masks, image_shape)
@@ -260,6 +310,7 @@ class EdgeServer:
                 lane=self.lane,
                 ts_ms=start,
                 frame=request.frame_index,
+                ctx=ctx,
                 queue_wait_ms=round(start - arrive_ms, 6),
             )
             attrs = {
@@ -280,20 +331,22 @@ class EdgeServer:
                 frame=request.frame_index,
                 start_ms=start,
                 dur_ms=service_ms,
+                ctx=ctx,
                 **attrs,
             )
         return completion, detections
 
     def submit_batch(
         self,
-        entries: list[tuple[OffloadRequest, list[InstanceMask], tuple[int, int], float]],
+        entries: list[tuple],
         start_ms: float,
         alpha: float,
     ) -> tuple[float, list[list[InstanceMask]], list[float]]:
         """Serve several requests as one batched inference call.
 
-        ``entries`` are ``(request, truth_masks, image_shape, arrive_ms)``
-        tuples; ``start_ms`` is when the scheduler dispatches the batch.
+        ``entries`` are ``(request, truth_masks, image_shape, arrive_ms,
+        ctx)`` tuples (``ctx`` a :class:`RequestContext` or None);
+        ``start_ms`` is when the scheduler dispatches the batch.
         Latency follows the calibrated sub-linear model::
 
             batch_ms = setup + k * n**alpha,   k = mean(solo_ms) - setup
@@ -311,13 +364,14 @@ class EdgeServer:
         tracer = self.tracer
         results = []
         all_detections: list[list[InstanceMask]] = []
-        for request, truth_masks, image_shape, arrive_ms in entries:
+        for request, truth_masks, image_shape, arrive_ms, ctx in entries:
             if tracer.enabled:
                 tracer.event(
                     "server.queue_enter",
                     lane=self.lane,
                     ts_ms=arrive_ms,
                     frame=request.frame_index,
+                    ctx=ctx,
                     was_free=self.is_free_at(arrive_ms),
                 )
             result, detections = self._infer_one(
@@ -333,7 +387,7 @@ class EdgeServer:
         completion = start + batch_ms
         self.free_at_ms = completion
         self.busy_ms_total += batch_ms
-        for (request, _, _, arrive_ms), result in zip(entries, results):
+        for (request, _, _, arrive_ms, ctx), result in zip(entries, results):
             self._m_requests.inc()
             self._h_queue_wait.observe(start - arrive_ms)
             if tracer.enabled:
@@ -342,19 +396,25 @@ class EdgeServer:
                     lane=self.lane,
                     ts_ms=start,
                     frame=request.frame_index,
+                    ctx=ctx,
                     queue_wait_ms=round(start - arrive_ms, 6),
                 )
         self._h_infer.observe(batch_ms)
         if tracer.enabled:
+            member_traces = [
+                entry[4].trace_id for entry in entries if entry[4] is not None
+            ]
             tracer.add_span(
                 "server.infer",
                 lane=self.lane,
                 frame=entries[0][0].frame_index,
                 start_ms=start,
                 dur_ms=batch_ms,
+                ctx=entries[0][4],
                 batch_size=size,
                 setup_ms=round(setup, 6),
                 solo_total_ms=round(sum(solo_ms), 6),
+                traces=member_traces,
             )
         return completion, all_detections, solo_ms
 
@@ -397,14 +457,7 @@ class Pipeline:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.tracer.enabled and not server.tracer.enabled:
             server.attach_tracer(self.tracer)
-        metrics = self.tracer.metrics
-        self._m_frames = metrics.counter("pipeline.frames")
-        self._m_deadline_miss = metrics.counter("pipeline.deadline_miss")
-        self._h_frame_latency = metrics.histogram("pipeline.frame_latency_ms")
-        # Live gauges the timeline sampler snapshots: an EWMA of display
-        # latency and the number of results still in flight.
-        self._g_latency_ewma = metrics.gauge("pipeline.frame_latency_ewma_ms")
-        self._g_pending = metrics.gauge("pipeline.pending_deliveries")
+        self.pm = PipelineMetrics.register(self.tracer.metrics)
         self._latency_ewma: float | None = None
         self._pending_list: list[_PendingDelivery] = []
 
@@ -416,8 +469,8 @@ class Pipeline:
             self._latency_ewma = latency
         else:
             self._latency_ewma += self._EWMA_ALPHA * (latency - self._latency_ewma)
-        self._g_latency_ewma.set(self._latency_ewma)
-        self._g_pending.set(pending_count)
+        self.pm.latency_ewma.set(self._latency_ewma)
+        self.pm.pending.set(pending_count)
 
     def run(self) -> RunResult:
         frame_interval = 1000.0 / self.video.fps
@@ -447,10 +500,12 @@ class Pipeline:
                 integration_start = max(client_busy_until, now)
                 client_busy_until = integration_start + integration_ms
                 if tracer.enabled:
+                    delivery_ctx = RequestContext(0, delivery.frame_index)
                     tracer.event(
                         "client.result_delivered",
                         lane="client",
                         frame=delivery.frame_index,
+                        ctx=delivery_ctx,
                         arrive_ms=round(delivery.arrive_ms, 6),
                         num_masks=len(delivery.masks),
                     )
@@ -460,13 +515,19 @@ class Pipeline:
                         frame=delivery.frame_index,
                         start_ms=integration_start,
                         dur_ms=integration_ms,
+                        ctx=delivery_ctx,
                     )
 
             # 2. client turn.
             offloaded = False
+            frame_ctx = RequestContext(0, frame.index)
             if client_busy_until <= now:
                 with tracer.span(
-                    "client.process", lane="client", frame=frame.index, start_ms=now
+                    "client.process",
+                    lane="client",
+                    frame=frame.index,
+                    start_ms=now,
+                    ctx=frame_ctx,
                 ) as span:
                     output = self.client.process_frame(frame, truth, now)
                     span.dur_ms = output.compute_ms
@@ -487,21 +548,23 @@ class Pipeline:
                     frame=frame.index,
                     start_ms=now,
                     dur_ms=latency,
+                    ctx=frame_ctx,
                     busy_until_ms=round(client_busy_until, 6),
                 )
 
             # 3. deadline accounting: a displayed frame later than one
             # budget behind capture is a first-class miss event.
-            self._m_frames.inc()
-            self._h_frame_latency.observe(latency)
+            self.pm.frames.inc()
+            self.pm.frame_latency.observe(latency)
             self._observe_latency(latency, len(self._pending_list))
             if latency > deadline_ms:
-                self._m_deadline_miss.inc()
+                self.pm.deadline_miss.inc()
                 if tracer.enabled:
                     tracer.event(
                         "frame.deadline_miss",
                         lane="client",
                         frame=frame.index,
+                        ctx=frame_ctx,
                         latency_ms=round(latency, 6),
                         budget_ms=round(deadline_ms, 6),
                         over_ms=round(latency - deadline_ms, 6),
@@ -551,12 +614,14 @@ class Pipeline:
     def _dispatch(self, request: OffloadRequest, send_time_ms: float) -> None:
         frame, truth = self.video.frame_at(request.frame_index)
         tracer = self.tracer
+        ctx = RequestContext(0, request.frame_index)
         if tracer.enabled:
             tracer.event(
                 "offload.dispatch",
                 lane="channel",
                 ts_ms=send_time_ms,
                 frame=request.frame_index,
+                ctx=ctx,
                 reason=request.reason,
                 payload_bytes=int(request.payload_bytes),
                 encode_ms=round(request.encode_ms, 6),
@@ -572,11 +637,13 @@ class Pipeline:
                 frame=request.frame_index,
                 start_ms=send_time_ms + request.encode_ms,
                 dur_ms=uplink,
+                ctx=ctx,
                 payload_bytes=int(request.payload_bytes),
                 server_free_on_arrival=self.server.is_free_at(arrive),
+                **_channel_transfer_attrs(self.channel),
             )
         completion, detections = self.server.submit(
-            request, truth.masks, frame.shape, arrive
+            request, truth.masks, frame.shape, arrive, ctx=ctx
         )
         result_bytes = encoded_size_bytes(detections) + RESULT_HEADER_BYTES
         downlink = self.channel.downlink_ms(result_bytes, now_ms=completion)
@@ -587,8 +654,10 @@ class Pipeline:
                 frame=request.frame_index,
                 start_ms=completion,
                 dur_ms=downlink,
+                ctx=ctx,
                 payload_bytes=int(result_bytes),
                 num_masks=len(detections),
+                **_channel_transfer_attrs(self.channel),
             )
         self._deliver(request.frame_index, detections, completion + downlink)
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..image.masks import InstanceMask
-from ..obs.trace import NULL_TRACER, Tracer
+from ..obs.trace import NULL_TRACER, RequestContext, Tracer
 from ..runtime.interface import OffloadRequest
 from ..runtime.pipeline import EdgeServer
 from .admission import (
@@ -64,6 +64,7 @@ class ServeItem:
     send_ms: float  # client finished encoding
     arrive_ms: float  # after the uplink
     deadline_ms: float
+    ctx: RequestContext | None = None
 
     @property
     def frame_index(self) -> int:
@@ -306,6 +307,7 @@ class FleetScheduler:
             send_ms=send_ms,
             arrive_ms=arrive_ms,
             deadline_ms=self.deadline_for(send_ms, budget_ms),
+            ctx=RequestContext(session_index, request.frame_index),
         )
         self._next_seq += 1
         self.counts["submitted"] += 1
@@ -320,6 +322,7 @@ class FleetScheduler:
                     lane="serve",
                     ts_ms=arrive_ms,
                     frame=item.frame_index,
+                    ctx=item.ctx,
                     session=session_index,
                     server=-1,
                     reason=REJECT_NO_REPLICA,
@@ -341,6 +344,7 @@ class FleetScheduler:
                     lane="serve",
                     ts_ms=arrive_ms,
                     frame=item.frame_index,
+                    ctx=item.ctx,
                     session=session_index,
                     server=replica.index,
                     deadline_ms=round(item.deadline_ms, 6),
@@ -361,6 +365,7 @@ class FleetScheduler:
                 lane="serve",
                 ts_ms=arrive_ms,
                 frame=item.frame_index,
+                ctx=item.ctx,
                 session=session_index,
                 server=replica.index,
                 reason=decision.status,
@@ -439,6 +444,7 @@ class FleetScheduler:
                             lane="serve",
                             ts_ms=pick_ms,
                             frame=item.frame_index,
+                            ctx=item.ctx,
                             session=item.session_index,
                             server=replica.index,
                             deadline_ms=round(item.deadline_ms, 6),
@@ -465,6 +471,7 @@ class FleetScheduler:
                 chosen.truth_masks,
                 chosen.image_shape,
                 chosen.arrive_ms,
+                ctx=chosen.ctx,
             )
             start = max(chosen.arrive_ms, free_before)
             replica.observe_infer(completion - start, alpha)
@@ -550,7 +557,7 @@ class FleetScheduler:
         free_before = replica.server.free_at_ms
         completion, detections_list, solo_ms = replica.server.submit_batch(
             [
-                (item.request, item.truth_masks, item.image_shape, item.arrive_ms)
+                (item.request, item.truth_masks, item.image_shape, item.arrive_ms, item.ctx)
                 for item in members
             ],
             dispatch,
@@ -578,11 +585,13 @@ class FleetScheduler:
                 "serve.batch.dispatch",
                 lane="serve",
                 ts_ms=dispatch,
+                ctx=members[0].ctx,
                 server=replica.index,
                 size=size,
                 wait_ms=round(dispatch - pick_ms, 6),
                 batch_ms=round(batch_ms, 6),
                 saved_ms=round(saved_ms, 6),
+                traces=[item.ctx.trace_id for item in members if item.ctx is not None],
             )
         for item, detections in zip(members, detections_list):
             outcomes.append(
@@ -628,6 +637,7 @@ class FleetScheduler:
                     lane="serve",
                     ts_ms=now_ms,
                     frame=item.frame_index,
+                    ctx=item.ctx,
                     session=item.session_index,
                     server=replica.index,
                     deadline_ms=round(item.deadline_ms, 6),

@@ -158,6 +158,30 @@ class TestTracer:
         assert NULL_TRACER.events == ()
         assert not NULL_TRACER.enabled
 
+    def test_null_tracer_mirrors_tracer_api(self):
+        """Instrumented code never branches on the tracer type, so every
+        public attribute of a live Tracer must exist on NULL_TRACER."""
+        real = Tracer()
+        for name in dir(real):
+            if name.startswith("_"):
+                continue
+            assert hasattr(NULL_TRACER, name), f"NullTracer lacks {name!r}"
+
+    def test_null_span_mirrors_active_span_api(self):
+        from repro.obs.trace import _NULL_SPAN_RECORD
+
+        real = Tracer()
+        with real.span("probe", start_ms=0.0, dur_ms=1.0) as live:
+            live_names = [n for n in dir(live) if not n.startswith("_")]
+        null = NULL_TRACER.span("probe")
+        for name in live_names:
+            assert hasattr(null, name), f"_NullSpan lacks {name!r}"
+        # Writes are swallowed, the record sink is shared, chaining works.
+        null.dur_ms = 99.0
+        assert null.dur_ms == 0.0
+        assert null.set_sim(start_ms=1.0, dur_ms=2.0) is null
+        assert null.span is _NULL_SPAN_RECORD
+
 
 class TestPipelineTracing:
     def test_traced_run_matches_untraced_run(self):
