@@ -12,11 +12,14 @@ Examples::
     python -m repro.eval.cli bench trend
     python -m repro.eval.cli report --suite fleet --label dev --format md,html
     python -m repro.eval.cli chaos --scenario wifi-to-lte --fault replica-outage
+    python -m repro.eval.cli tenants --label dev
     python -m repro.eval.cli list
 
 ``trace`` and ``report`` share one ``--format`` convention: a
 comma-separated subset of ``table,jsonl,chrome,md,html`` (each verb
-accepts the formats it can render).
+accepts the formats it can render).  ``serve``/``bench run``/``chaos``/
+``why``/``tenants`` all take ``--list`` to print the names they accept
+(deterministic order, exit 0) without running anything.
 """
 
 from __future__ import annotations
@@ -50,6 +53,7 @@ from ..obs import (
     write_why,
 )
 from ..serve import POLICY_NAMES
+from ..tenancy import DEFAULT_TENANTS, QOS_CLASSES
 from ..synthetic.datasets import COMPLEXITY_LEVELS, DATASET_NAMES
 from ..synthetic.trajectory import MOTION_PRESETS
 from .experiments import (
@@ -106,6 +110,33 @@ def _add_format_flag(sub, allowed: tuple[str, ...], default: str) -> None:
         help=f"comma-separated outputs to write (subset of {','.join(allowed)};"
         f" default {default})",
     )
+
+
+def _print_listing(sections: dict) -> int:
+    """Shared ``--list`` renderer: one ``name: a, b, c`` line per
+    section in a deterministic order, exit 0 without running anything."""
+    width = max((len(name) for name in sections), default=0)
+    for name, values in sections.items():
+        print(f"{name}:".ljust(width + 1), ", ".join(values))
+    return 0
+
+
+def _add_list_flag(sub) -> None:
+    sub.add_argument(
+        "--list",
+        dest="list_names",
+        action="store_true",
+        help="list the names this verb accepts and exit",
+    )
+
+
+def _require_known(kind: str, value, allowed) -> None:
+    """Shared unknown-name check: every verb raises the same one-line
+    ``ValueError`` (rendered as ``error: ...`` by :func:`main`)."""
+    if value is not None and value not in allowed:
+        raise ValueError(
+            f"unknown {kind} {value!r}; pick from {', '.join(sorted(allowed))}"
+        )
 
 
 def _spec_from_args(args, system: str | None = None) -> ExperimentSpec:
@@ -230,6 +261,18 @@ def _cmd_trace(args) -> int:
 
 def _cmd_serve(args) -> int:
     """Run a client fleet through the serving layer and report on it."""
+    if args.list_names:
+        return _print_listing(
+            {
+                "systems": SYSTEM_NAMES + ABLATION_NAMES,
+                "datasets": DATASET_NAMES,
+                "networks": tuple(sorted(CHANNELS)),
+                "policies": tuple(sorted(POLICY_NAMES)),
+                "scenarios": tuple(sorted(SCENARIOS)),
+                "faults": tuple(sorted(FAULTS)),
+                "qos": tuple(sorted(QOS_CLASSES)),
+            }
+        )
     spec = FleetSpec(
         num_clients=args.clients,
         system=args.system,
@@ -251,6 +294,7 @@ def _cmd_serve(args) -> int:
         warmup_frames=args.warmup,
         seed=args.seed,
         trace=True,
+        tenants=args.tenants,
     )
     outcome = run_fleet(spec)
     slo = evaluate_slo(
@@ -306,6 +350,16 @@ def _cmd_serve(args) -> int:
                 f"server{entry['index']}:  completed={entry['completed']} "
                 f"shed={entry['shed']} utilization={entry.get('utilization', 0.0):.3f}"
             )
+        tenancy = serve_stats.get("tenancy")
+        if tenancy is not None:
+            for name, entry in tenancy["per_tenant"].items():
+                print(
+                    f"tenant {name} ({entry['qos']}): "
+                    f"submitted={entry['submitted']} admitted={entry['admitted']} "
+                    f"shed={entry['shed']} displaced={entry['displaced']} "
+                    f"completed={entry['completed']} "
+                    f"server_ms={entry['server_ms']:.1f}"
+                )
     if outcome.chaos is not None and outcome.chaos.log:
         print(
             "chaos:    "
@@ -328,14 +382,16 @@ def _cmd_serve(args) -> int:
 def _cmd_chaos(args) -> int:
     """Run the adversarial scenario x fault matrix and certify that every
     cell holds its SLO error budget through degrade -> recover."""
-    if args.scenario is not None and args.scenario not in SCENARIOS:
-        raise ValueError(
-            f"unknown scenario {args.scenario!r}; pick from {sorted(SCENARIOS)}"
+    if args.list_names:
+        return _print_listing(
+            {
+                "scenarios": tuple(sorted(SCENARIOS)),
+                "faults": tuple(sorted(FAULTS)),
+                "cells": tuple(cell.name for cell in SUITES["chaos"]),
+            }
         )
-    if args.fault is not None and args.fault not in FAULTS:
-        raise ValueError(
-            f"unknown fault program {args.fault!r}; pick from {sorted(FAULTS)}"
-        )
+    _require_known("scenario", args.scenario, SCENARIOS)
+    _require_known("fault program", args.fault, FAULTS)
     cells = [
         cell
         for cell in SUITES["chaos"]
@@ -387,6 +443,13 @@ def _cmd_chaos(args) -> int:
 
 def _cmd_bench_run(args) -> int:
     """Run a benchmark suite and write its BENCH artifact."""
+    if args.list_names:
+        return _print_listing(
+            {
+                suite: tuple(cell.name for cell in SUITES[suite])
+                for suite in sorted(SUITES)
+            }
+        )
     payload = run_suite(
         args.suite,
         args.label,
@@ -513,6 +576,15 @@ def _cmd_report(args) -> int:
 def _cmd_why(args) -> int:
     """Re-run a suite traced and explain every deadline miss: ranked
     root causes per scenario plus per-frame critical-path waterfalls."""
+    if args.list_names:
+        return _print_listing(
+            {
+                "suites": tuple(sorted(SUITES)),
+                "scenarios": tuple(
+                    cell.name for cell in SUITES.get(args.suite, ())
+                ),
+            }
+        )
     why = build_why(
         args.suite,
         args.label,
@@ -545,18 +617,105 @@ def _cmd_why(args) -> int:
     return 0
 
 
-def _cmd_list(args) -> int:
-    print("systems:   ", ", ".join(SYSTEM_NAMES))
-    print("ablations: ", ", ".join(ABLATION_NAMES))
-    print("datasets:  ", ", ".join(DATASET_NAMES))
-    print("complexity:", ", ".join(COMPLEXITY_LEVELS))
-    print("networks:  ", ", ".join(sorted(CHANNELS)))
-    print("traces:    ", ", ".join(TRACE_BENCHES))
-    print("suites:    ", ", ".join(sorted(SUITES)))
-    print("policies:  ", ", ".join(sorted(POLICY_NAMES)))
-    print("scenarios: ", ", ".join(sorted(SCENARIOS)))
-    print("faults:    ", ", ".join(sorted(FAULTS)))
+def _cmd_tenants(args) -> int:
+    """Run the multi-tenant serving suite, render per-tenant fairness
+    and metering, and certify the premium-isolation claim."""
+    if args.list_names:
+        return _print_listing(
+            {
+                "qos": tuple(sorted(QOS_CLASSES)),
+                "default tenants": tuple(
+                    f"{spec.name}:{spec.qos}:{spec.num_sessions}"
+                    for spec in DEFAULT_TENANTS
+                ),
+                "cells": tuple(cell.name for cell in SUITES["tenants"]),
+            }
+        )
+    payload = run_suite("tenants", args.label, budget_ms=args.budget_ms)
+    path = write_bench(payload, args.out)
+    for name in sorted(payload["scenarios"]):
+        cell = payload["scenarios"][name]
+        section = cell.get("tenants")
+        if section is None:
+            continue
+        table = Table(
+            f"tenants — {name} [{cell['spec']['role']}]",
+            [
+                "tenant",
+                "qos",
+                "submitted",
+                "admitted",
+                "shed",
+                "displaced",
+                "completed",
+                "server ms",
+                "miss rate",
+                "degrades",
+            ],
+        )
+        for tenant_name, entry in section["per_tenant"].items():
+            table.add_row(
+                tenant_name,
+                entry["qos"],
+                entry["submitted"],
+                entry["admitted"],
+                entry["shed"],
+                entry["displaced"],
+                entry["completed"],
+                entry["server_ms"],
+                entry["slo"]["miss_rate"],
+                entry["degrade_events"],
+            )
+        table.print()
+        recon = section["reconciliation"]
+        print(
+            "  reconciliation: requests "
+            + ("exact" if recon["requests_exact"] else "MISMATCH")
+            + f", server_ms delta {recon['server_ms_delta']:.6f}"
+        )
+        autoscale = cell.get("autoscale")
+        if autoscale is not None:
+            print(
+                f"  autoscale: scale_ups={autoscale['scale_ups']} "
+                f"scale_downs={autoscale['scale_downs']} "
+                f"replicas={autoscale['replica_series']}"
+            )
+        print()
+    certification = payload["certification"]
+    for check_name in sorted(certification.get("checks", {})):
+        check = certification["checks"][check_name]
+        detail = " ".join(
+            f"{k}={check[k]}" for k in sorted(check) if k != "ok"
+        )
+        print(f"{'PASS' if check['ok'] else 'FAIL'}  {check_name}  {detail}")
+    print(f"wrote  {path}")
+    if not certification["certified"]:
+        print("NOT CERTIFIED: premium isolation claim does not hold")
+        return 1
+    print("certified: premium isolation holds under best-effort saturation")
     return 0
+
+
+def _cmd_list(args) -> int:
+    return _print_listing(
+        {
+            "systems": SYSTEM_NAMES,
+            "ablations": ABLATION_NAMES,
+            "datasets": DATASET_NAMES,
+            "complexity": COMPLEXITY_LEVELS,
+            "networks": tuple(sorted(CHANNELS)),
+            "traces": tuple(TRACE_BENCHES),
+            "suites": tuple(sorted(SUITES)),
+            "policies": tuple(sorted(POLICY_NAMES)),
+            "scenarios": tuple(sorted(SCENARIOS)),
+            "faults": tuple(sorted(FAULTS)),
+            "qos": tuple(sorted(QOS_CLASSES)),
+            "tenants": tuple(
+                f"{spec.name}:{spec.qos}:{spec.num_sessions}"
+                for spec in DEFAULT_TENANTS
+            ),
+        }
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -679,7 +838,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=FRAME_BUDGET_MS,
         help="per-frame deadline for SLO evaluation (default 33.33 ms = 30 fps)",
     )
+    serve_parser.add_argument(
+        "--tenants",
+        default=None,
+        help="tenant directory as name:qos:count[,...] — session counts"
+        " must sum to --clients (qos: premium, standard, best_effort)",
+    )
     add_common(serve_parser)
+    _add_list_flag(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve, frames=60)
 
     bench_parser = subparsers.add_parser(
@@ -722,6 +888,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_SLO_TARGET,
         help="error-budget miss-rate target (default %(default)s)",
     )
+    _add_list_flag(bench_run)
     bench_run.set_defaults(func=_cmd_bench_run)
 
     bench_compare = bench_sub.add_parser(
@@ -818,6 +985,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=FRAME_BUDGET_MS,
         help="per-frame deadline for SLO evaluation (default 33.33 ms = 30 fps)",
     )
+    _add_list_flag(chaos_parser)
     chaos_parser.set_defaults(func=_cmd_chaos)
 
     why_parser = subparsers.add_parser(
@@ -854,7 +1022,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=FRAME_BUDGET_MS,
         help="per-frame deadline for miss attribution (default 33.33 ms = 30 fps)",
     )
+    _add_list_flag(why_parser)
     why_parser.set_defaults(func=_cmd_why)
+
+    tenants_parser = subparsers.add_parser(
+        "tenants",
+        help="run the multi-tenant serving suite: weighted-fair admission,"
+        " per-tenant metering, autoscaling, premium-isolation certification",
+    )
+    tenants_parser.add_argument(
+        "--label", default="dev", help="artifact label (BENCH_tenants_<label>.json)"
+    )
+    tenants_parser.add_argument(
+        "--out", default="results", help="output directory (default results/)"
+    )
+    tenants_parser.add_argument(
+        "--budget-ms",
+        type=float,
+        default=FRAME_BUDGET_MS,
+        help="per-frame deadline for SLO evaluation (default 33.33 ms = 30 fps)",
+    )
+    _add_list_flag(tenants_parser)
+    tenants_parser.set_defaults(func=_cmd_tenants)
 
     list_parser = subparsers.add_parser("list", help="list available names")
     list_parser.set_defaults(func=_cmd_list)

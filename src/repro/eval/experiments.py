@@ -29,6 +29,7 @@ from ..runtime.multi import ClientSession, MultiClientPipeline
 from ..runtime.pipeline import EdgeServer, Pipeline, RunResult
 from ..runtime.resources import DEVICE_POWER, ResourceMonitor
 from ..serve import AdmissionConfig, BatchConfig, DegradeConfig, FleetScheduler
+from ..tenancy import Autoscaler, AutoscalerConfig, TenantDirectory, parse_tenants
 from ..synthetic.datasets import make_complexity_scene, make_dataset
 from ..synthetic.world import SyntheticVideo
 
@@ -273,6 +274,22 @@ class FleetSpec:
     # byte-identical to a chaos-free fleet.
     scenario: str | None = None
     faults: str = "none"
+    # Tenancy (repro.tenancy): a "name:qos:count[,...]" directory over
+    # the fleet's sessions.  Counts must sum to ``num_clients``; None
+    # runs tenancy-free and byte-identical to the pre-tenancy fleet.
+    tenants: str | None = None
+    # Queue-driven autoscaling (repro.tenancy.Autoscaler): the pool is
+    # provisioned with ``autoscale_max`` replicas, ``autoscale_min``
+    # start live and the rest stand by; ``num_servers`` is ignored when
+    # autoscaling is on.
+    autoscale: bool = False
+    autoscale_min: int = 1
+    autoscale_max: int = 4
+    autoscale_up_depth: float = 2.0
+    autoscale_down_depth: float = 0.0
+    autoscale_warmup_ms: float = 200.0
+    autoscale_hold_ms: float = 1000.0
+    autoscale_cooldown_ms: float = 100.0
 
 
 @dataclass
@@ -285,6 +302,8 @@ class FleetOutcome:
     sampler: TimelineSampler | None = None
     duration_ms: float = 0.0
     chaos: object | None = None  # ChaosInjector when the run injected faults
+    tenancy: TenantDirectory | None = None
+    autoscaler: Autoscaler | None = None
 
 
 def run_fleet(spec: FleetSpec) -> FleetOutcome:
@@ -297,6 +316,21 @@ def run_fleet(spec: FleetSpec) -> FleetOutcome:
             "the legacy FIFO topology has exactly one server; "
             "set scheduler=True to use num_servers > 1"
         )
+    tenancy = (
+        TenantDirectory(list(parse_tenants(spec.tenants)))
+        if spec.tenants is not None
+        else None
+    )
+    if tenancy is not None and not spec.scheduler:
+        raise ValueError("tenancy requires the serving layer; set scheduler=True")
+    if tenancy is not None and tenancy.num_sessions != spec.num_clients:
+        raise ValueError(
+            f"tenant session counts sum to {tenancy.num_sessions} "
+            f"but the fleet has num_clients={spec.num_clients}"
+        )
+    if spec.autoscale and not spec.scheduler:
+        raise ValueError("autoscaling requires the serving layer; set scheduler=True")
+    num_servers = spec.autoscale_max if spec.autoscale else spec.num_servers
     # Resolve chaos knobs up front so unknown names fail before any
     # rendering happens.
     scenario = make_scenario(spec.scenario) if spec.scenario is not None else None
@@ -310,11 +344,11 @@ def run_fleet(spec: FleetSpec) -> FleetOutcome:
             )
     for fault in faults:
         if fault.kind in ("kill_replica", "straggler") and not (
-            0 <= fault.target < spec.num_servers
+            0 <= fault.target < num_servers
         ):
             raise ValueError(
                 f"fault target {fault.target} out of range for "
-                f"{spec.num_servers} server(s)"
+                f"{num_servers} server(s)"
             )
     tracer = Tracer(wall_clock=spec.trace_wall_clock) if spec.trace else NULL_TRACER
 
@@ -369,10 +403,11 @@ def run_fleet(spec: FleetSpec) -> FleetOutcome:
             ),
             tracer=tracer,
         )
-        for index in range(spec.num_servers)
+        for index in range(num_servers)
     ]
 
     scheduler = None
+    autoscaler = None
     if spec.scheduler:
         scheduler = FleetScheduler(
             servers,
@@ -394,7 +429,20 @@ def run_fleet(spec: FleetSpec) -> FleetOutcome:
                 max_size=spec.max_batch_size,
                 alpha=spec.batch_alpha,
             ),
+            tenancy=tenancy,
         )
+        if spec.autoscale:
+            autoscaler = Autoscaler(
+                scheduler,
+                AutoscalerConfig(
+                    min_replicas=spec.autoscale_min,
+                    scale_up_depth=spec.autoscale_up_depth,
+                    scale_down_depth=spec.autoscale_down_depth,
+                    warmup_ms=spec.autoscale_warmup_ms,
+                    scale_down_hold_ms=spec.autoscale_hold_ms,
+                    cooldown_ms=spec.autoscale_cooldown_ms,
+                ),
+            )
         backend = scheduler
     else:
         backend = servers[0]
@@ -414,6 +462,7 @@ def run_fleet(spec: FleetSpec) -> FleetOutcome:
         deadline_budget_ms=spec.deadline_budget_ms,
         sampler=sampler,
         chaos=chaos,
+        autoscaler=autoscaler,
     )
     results = pipeline.run()
     duration = spec.num_frames * (1000.0 / sessions[0].video.fps)
@@ -426,4 +475,6 @@ def run_fleet(spec: FleetSpec) -> FleetOutcome:
         sampler=sampler,
         duration_ms=duration,
         chaos=chaos,
+        tenancy=tenancy,
+        autoscaler=autoscaler,
     )

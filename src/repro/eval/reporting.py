@@ -26,7 +26,12 @@ __all__ = ["SCHEMA_VERSION", "Table", "format_cdf", "result_payload", "save_json
 # v5: per-cell ``miss_causes`` section (deadline-miss root causes,
 # gated ``unclassified``/per-cause counts); trace records carry request
 # contexts (``session``/``trace`` keys, batch ``traces`` membership).
-SCHEMA_VERSION = 5
+# v6: multi-tenant serving (repro.tenancy) — tenant cells carry a
+# ``tenants`` section (per-tenant meters + SLO slices, reconciliation),
+# an ``autoscale`` section (replica-count series), ``tenant.*`` counters
+# and a ``serve.displaced`` counter; suite payloads may carry a
+# ``certification`` section.
+SCHEMA_VERSION = 6
 
 
 @dataclass

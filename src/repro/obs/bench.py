@@ -46,6 +46,7 @@ __all__ = [
     "FleetBenchScenario",
     "KernelBenchScenario",
     "ChaosBenchScenario",
+    "TenantBenchScenario",
     "SUITES",
     "environment_fingerprint",
     "stage_percentiles",
@@ -121,6 +122,37 @@ class ChaosBenchScenario(FleetBenchScenario):
     # than DEFAULT_SLO_TARGET: the certification is "the fleet survives
     # inside an explicit, budgeted degradation", not "chaos is free".
     slo_target: float = 0.25
+
+
+@dataclass(frozen=True)
+class TenantBenchScenario(FleetBenchScenario):
+    """One multi-tenant serving cell (:mod:`repro.tenancy`).
+
+    A fleet cell whose sessions are partitioned into QoS-classed tenants
+    (``tenants`` is the ``name:qos:count`` directory string).  The cell
+    emits a ``tenants`` payload section — per-tenant meters, per-tenant
+    SLO slices and the exact reconciliation against the fleet-level
+    ``serve.*`` counters — plus an ``autoscale`` section when the
+    queue-driven autoscaler is on.  The ``role`` marks how the suite
+    certification consumes the cell: ``reference`` is the unsaturated
+    premium-only baseline, ``certify`` is the saturated mixed-QoS cell
+    whose premium miss rate is held against the reference.
+    """
+
+    tenants: str = ""
+    role: str = "reference"  # "reference" | "certify" | "exhibit"
+    # Certified ceiling for the premium tenant's frame-deadline miss
+    # rate in the saturated cell.
+    premium_slo_target: float = 0.15
+    # Queue-driven autoscaling (repro.tenancy.Autoscaler).
+    autoscale: bool = False
+    autoscale_min: int = 1
+    autoscale_max: int = 4
+    autoscale_up_depth: float = 2.0
+    autoscale_down_depth: float = 0.0
+    autoscale_warmup_ms: float = 200.0
+    autoscale_hold_ms: float = 1000.0
+    autoscale_cooldown_ms: float = 100.0
 
 
 @dataclass(frozen=True)
@@ -226,6 +258,72 @@ SUITES: dict[str, tuple[BenchScenario, ...]] = {
             warmup_frames=10,
             policy="least_queue",
             num_servers=2,
+        ),
+    ),
+    # Multi-tenant serving (docs/tenancy.md): the certified claim is
+    # that with a best-effort tenant saturating the fleet, the premium
+    # tenant's frame-deadline miss rate stays within its SLO target and
+    # within 2x of the unsaturated premium-only reference, while the
+    # best-effort tenant absorbs every shed/displacement and all the
+    # degradation growth.  The best-effort tenant deliberately owns the
+    # *lowest* session indices (it submits first every tick and fills
+    # the queues), so premium isolation is earned through weighted-fair
+    # displacement, not submission-order luck.  deadline_horizon=72
+    # keeps every request feasible (one service fits the deadline), so
+    # queue contention — not infeasibility — is the binding constraint.
+    "tenants": (
+        # Unsaturated reference: the premium tenant alone on the fleet.
+        TenantBenchScenario(
+            "premium-only",
+            system="baseline+mamt",
+            frames=60,
+            resolution=(160, 120),
+            warmup_frames=10,
+            num_clients=2,
+            tenants="gold:premium:2",
+            role="reference",
+            policy="edf",
+            queue_limit=3,
+            deadline_horizon=72.0,
+        ),
+        # The certified cell: the same premium tenant, plus a
+        # best-effort tenant large enough to saturate the single
+        # replica on its own.
+        TenantBenchScenario(
+            "mixed-saturate",
+            system="baseline+mamt",
+            frames=60,
+            resolution=(160, 120),
+            warmup_frames=10,
+            num_clients=10,
+            tenants="bulk:best_effort:8,gold:premium:2",
+            role="certify",
+            policy="edf",
+            queue_limit=3,
+            deadline_horizon=72.0,
+        ),
+        # All three QoS classes under the same saturation with the
+        # queue-driven autoscaler on: standby replicas absorb the burst
+        # after the warm-up lag, and the replica-count series is part
+        # of the byte-identity contract.
+        TenantBenchScenario(
+            "autoscale-burst",
+            system="baseline+mamt",
+            frames=60,
+            resolution=(160, 120),
+            warmup_frames=10,
+            num_clients=10,
+            tenants="bulk:best_effort:6,silver:standard:2,gold:premium:2",
+            role="exhibit",
+            policy="edf",
+            queue_limit=3,
+            deadline_horizon=72.0,
+            autoscale=True,
+            autoscale_min=1,
+            autoscale_max=3,
+            autoscale_up_depth=1.5,
+            autoscale_warmup_ms=150.0,
+            autoscale_hold_ms=800.0,
         ),
     ),
     # Adversarial scenario x fault matrix (docs/scenarios.md): every
@@ -446,6 +544,20 @@ def _run_fleet_scenario(
     from ..eval.experiments import FleetSpec, run_fleet
 
     is_chaos = isinstance(scenario, ChaosBenchScenario)
+    is_tenant = isinstance(scenario, TenantBenchScenario)
+    tenant_kwargs = {}
+    if is_tenant:
+        tenant_kwargs = dict(
+            tenants=scenario.tenants,
+            autoscale=scenario.autoscale,
+            autoscale_min=scenario.autoscale_min,
+            autoscale_max=scenario.autoscale_max,
+            autoscale_up_depth=scenario.autoscale_up_depth,
+            autoscale_down_depth=scenario.autoscale_down_depth,
+            autoscale_warmup_ms=scenario.autoscale_warmup_ms,
+            autoscale_hold_ms=scenario.autoscale_hold_ms,
+            autoscale_cooldown_ms=scenario.autoscale_cooldown_ms,
+        )
     network = scenario.network
     if is_chaos:
         from ..chaos import make_scenario
@@ -482,6 +594,7 @@ def _run_fleet_scenario(
         sample_interval_ms=sample_interval_ms,
         scenario=scenario.chaos_scenario if is_chaos else None,
         faults=scenario.fault if is_chaos else "none",
+        **tenant_kwargs,
     )
     outcome = run_fleet(spec)
     tracer = outcome.tracer
@@ -577,6 +690,18 @@ def _run_fleet_scenario(
                 budget_report["consumed_fraction"] < 1.0
             ),
         }
+    if is_tenant:
+        # Tenant-only keys live in their own sections (plus spec keys)
+        # so plain fleet cells keep their pre-tenancy shape.
+        payload["spec"]["tenants"] = scenario.tenants
+        payload["spec"]["role"] = scenario.role
+        payload["spec"]["premium_slo_target"] = round(
+            scenario.premium_slo_target, 6
+        )
+        payload["spec"]["autoscale"] = scenario.autoscale
+        payload["tenants"] = _tenant_section(scenario, outcome, budget_ms)
+        if outcome.autoscaler is not None:
+            payload["autoscale"] = outcome.autoscaler.stats()
     observed = {
         "tracer": tracer,
         "sampler": outcome.sampler,
@@ -586,10 +711,215 @@ def _run_fleet_scenario(
     return payload, observed
 
 
+def _tenant_section(
+    scenario: TenantBenchScenario, outcome, budget_ms: float
+) -> dict:
+    """The per-tenant slice of one tenant cell's payload.
+
+    Carries the tenant directory, one entry per tenant (meter counters,
+    session assignment, degrade-event count and the tenant's own SLO
+    evaluated over just its sessions), the fair-queue state, and the
+    reconciliation proof: per-tenant request counters must sum to the
+    fleet-level ``serve.*`` counts *exactly*, and metered server
+    milliseconds must match the pool's busy time to float tolerance.
+    """
+    from ..tenancy.metering import REQUEST_COUNTERS
+
+    scheduler = outcome.scheduler
+    directory = scheduler.tenancy
+    tracer = outcome.tracer
+    meter_stats = scheduler.meter.stats()
+
+    degrade_by_session: dict[int, int] = {}
+    for event in tracer.events:
+        if event.name == "serve.degrade":
+            session = int(event.attrs.get("session", -1))
+            degrade_by_session[session] = degrade_by_session.get(session, 0) + 1
+
+    per_tenant = {}
+    for name in directory.tenants:
+        sessions = directory.sessions_of(name)
+        entry = dict(meter_stats[name])
+        entry["sessions"] = list(sessions)
+        entry["degrade_events"] = sum(
+            degrade_by_session.get(s, 0) for s in sessions
+        )
+        entry["slo"] = evaluate_slo(
+            tracer,
+            budget_ms=budget_ms,
+            warmup_frames=scenario.warmup_frames,
+            sessions=set(sessions),
+        )
+        per_tenant[name] = entry
+
+    totals = scheduler.meter.totals()
+    requests = {}
+    requests_exact = True
+    for key in REQUEST_COUNTERS:
+        tenant_sum = int(totals[key])
+        fleet = int(scheduler.counts[key])
+        requests[key] = {"tenant_sum": tenant_sum, "fleet": fleet}
+        requests_exact = requests_exact and tenant_sum == fleet
+    server_ms_tenants = sum(
+        scheduler.meter.counts[name]["server_ms"] for name in directory.tenants
+    )
+    server_ms_pool = sum(
+        replica.server.busy_ms_total for replica in scheduler.pool.replicas
+    )
+    server_ms_delta = abs(server_ms_tenants - server_ms_pool)
+    return {
+        "directory": directory.describe(),
+        "per_tenant": per_tenant,
+        "fair": scheduler.fair.stats(),
+        "reconciliation": {
+            "requests_exact": bool(requests_exact),
+            "requests": requests,
+            "server_ms_tenants": round(server_ms_tenants, 6),
+            "server_ms_pool": round(server_ms_pool, 6),
+            "server_ms_delta": round(server_ms_delta, 6),
+            "server_ms_ok": bool(server_ms_delta <= 1e-6),
+        },
+    }
+
+
 def _result_schema_version() -> int:
     from ..eval.reporting import SCHEMA_VERSION
 
     return SCHEMA_VERSION
+
+
+def _certify_tenants(payload: dict) -> dict:
+    """Suite-level certification of the multi-tenant isolation claim.
+
+    Checks, against the ``certify`` (saturated-mix) cell and the
+    ``reference`` (unsaturated premium-only) cell:
+
+    * the premium tenant's miss rate stays within its SLO target;
+    * it also stays within 2x of the unsaturated reference (an absolute
+      floor keeps a 0.0-reference from demanding perfection);
+    * no premium request is ever shed or displaced;
+    * saturation adds no premium degradation: premium's degrade-event
+      count under saturation stays at or below the reference cell's;
+    * the best-effort tenant absorbs every shed/displacement and all
+      non-premium degradation;
+    * per-tenant metering reconciles exactly in every cell, and the
+      autoscale exhibit actually scaled up.
+    """
+    floor = 0.02  # absolute slack when the reference miss rate is ~0
+    scenarios = payload["scenarios"]
+    reference = next(
+        (c for c in scenarios.values() if c["spec"].get("role") == "reference"),
+        None,
+    )
+    certify = next(
+        (c for c in scenarios.values() if c["spec"].get("role") == "certify"),
+        None,
+    )
+    if reference is None or certify is None:
+        return {"certified": False, "error": "missing reference/certify cell"}
+
+    def names_by_qos(cell: dict, qos: str) -> list[str]:
+        return [
+            t["name"]
+            for t in cell["tenants"]["directory"]
+            if t["qos"] == qos
+        ]
+
+    def tenant_sum(cell: dict, names: list[str], key: str) -> float:
+        return sum(cell["tenants"]["per_tenant"][n][key] for n in names)
+
+    def premium_miss(cell: dict) -> float:
+        rates = [
+            cell["tenants"]["per_tenant"][n]["slo"]["miss_rate"]
+            for n in names_by_qos(cell, "premium")
+        ]
+        return max(rates) if rates else 0.0
+
+    premium = names_by_qos(certify, "premium")
+    best_effort = names_by_qos(certify, "best_effort")
+    miss = premium_miss(certify)
+    ref_miss = premium_miss(reference)
+    target = float(certify["spec"]["premium_slo_target"])
+    limit = max(2.0 * ref_miss, floor)
+
+    fleet_shed = int(certify["serve"]["shed"])
+    fleet_displaced = int(certify["serve"]["displaced"])
+    fleet_degrades = int(
+        tenant_sum(certify, list(certify["tenants"]["per_tenant"]), "degrade_events")
+    )
+    premium_degrades = int(tenant_sum(certify, premium, "degrade_events"))
+    reference_premium_degrades = int(
+        tenant_sum(reference, names_by_qos(reference, "premium"), "degrade_events")
+    )
+    be_shed = int(tenant_sum(certify, best_effort, "shed"))
+    be_displaced = int(tenant_sum(certify, best_effort, "displaced"))
+    be_degrades = int(tenant_sum(certify, best_effort, "degrade_events"))
+
+    reconciliation_ok = all(
+        cell["tenants"]["reconciliation"]["requests_exact"]
+        and cell["tenants"]["reconciliation"]["server_ms_ok"]
+        for cell in scenarios.values()
+        if "tenants" in cell
+    )
+    autoscale_cells = [c for c in scenarios.values() if "autoscale" in c]
+    autoscale_ok = all(
+        int(c["autoscale"]["scale_ups"]) >= 1 for c in autoscale_cells
+    )
+
+    checks = {
+        "premium_within_slo": {
+            "ok": bool(miss <= target),
+            "miss_rate": round(miss, 6),
+            "target": round(target, 6),
+        },
+        "premium_within_2x_reference": {
+            "ok": bool(miss <= limit),
+            "miss_rate": round(miss, 6),
+            "reference_miss_rate": round(ref_miss, 6),
+            "limit": round(limit, 6),
+        },
+        "premium_never_shed": {
+            "ok": bool(
+                tenant_sum(certify, premium, "shed") == 0
+                and tenant_sum(certify, premium, "displaced") == 0
+            ),
+            "shed": int(tenant_sum(certify, premium, "shed")),
+            "displaced": int(tenant_sum(certify, premium, "displaced")),
+        },
+        "premium_degrade_shielded": {
+            "ok": bool(premium_degrades <= reference_premium_degrades),
+            "degrade_events": premium_degrades,
+            "reference_degrade_events": reference_premium_degrades,
+        },
+        "best_effort_absorbs": {
+            "ok": bool(
+                be_shed == fleet_shed
+                and be_displaced == fleet_displaced
+                and be_degrades == fleet_degrades - premium_degrades
+            ),
+            "best_effort_shed": be_shed,
+            "fleet_shed": fleet_shed,
+            "best_effort_displaced": be_displaced,
+            "fleet_displaced": fleet_displaced,
+            "best_effort_degrades": be_degrades,
+            "non_premium_degrades": fleet_degrades - premium_degrades,
+        },
+        "metering_reconciles": {"ok": bool(reconciliation_ok)},
+        "autoscaler_engaged": {
+            "ok": bool(autoscale_ok),
+            "cells": len(autoscale_cells),
+        },
+    }
+    return {
+        "certified": bool(all(c["ok"] for c in checks.values())),
+        "checks": checks,
+    }
+
+
+# Suites whose artifacts carry a suite-level ``certification`` section,
+# computed over the finished cells (so ``repro bench run`` and the
+# dedicated CLI verb produce identical artifacts).
+_SUITE_CERTIFIERS = {"tenants": _certify_tenants}
 
 
 def run_suite(
@@ -606,7 +936,7 @@ def run_suite(
         raise KeyError(
             f"unknown suite {suite!r}; available: {', '.join(sorted(SUITES))}"
         )
-    return {
+    payload = {
         "schema_version": SCHEMA_VERSION,
         "kind": "bench",
         "suite": suite,
@@ -622,6 +952,10 @@ def run_suite(
             for scenario in SUITES[suite]
         },
     }
+    certifier = _SUITE_CERTIFIERS.get(suite)
+    if certifier is not None:
+        payload["certification"] = certifier(payload)
+    return payload
 
 
 def bench_filename(suite: str, label: str) -> str:

@@ -66,6 +66,10 @@ _SPEEDUP_POLICY = MetricPolicy(True, 0.60, 1.0)
 # misses moving to a cause).
 _UNCLASSIFIED_POLICY = MetricPolicy(False, 0.25, 0.5)
 _CAUSE_COUNT_POLICY = MetricPolicy(False, 0.25, 2.0)
+# Certification verdicts (chaos cells, tenant suites) are booleans cast
+# to 0/1: any flip from certified to not is a full-size change, so the
+# 0.5 floors flag exactly that and nothing else.
+_CERTIFIED_POLICY = MetricPolicy(True, 0.5, 0.5)
 
 
 def policy_for(path: str) -> MetricPolicy | None:
@@ -74,6 +78,10 @@ def policy_for(path: str) -> MetricPolicy | None:
     if ".miss_causes." in path:
         if leaf == "unclassified":
             return _UNCLASSIFIED_POLICY
+        return _CAUSE_COUNT_POLICY
+    if leaf == "certified":
+        return _CERTIFIED_POLICY
+    if ".tenants.per_tenant." in path and leaf in ("shed", "displaced"):
         return _CAUSE_COUNT_POLICY
     if leaf == "mean_iou":
         return _IOU_POLICY
@@ -156,6 +164,36 @@ def iter_metric_paths(payload: dict):
         kernel = scenario.get("kernel", {})
         if "speedup_x" in kernel:
             yield f"{scenario_name}.kernel.speedup_x", float(kernel["speedup_x"])
+        tenants = scenario.get("tenants", {})
+        for tenant_name in sorted(tenants.get("per_tenant", {})):
+            entry = tenants["per_tenant"][tenant_name]
+            prefix = f"{scenario_name}.tenants.per_tenant.{tenant_name}"
+            for key in ("shed", "displaced"):
+                if key in entry:
+                    yield f"{prefix}.{key}", float(entry[key])
+            tenant_slo = entry.get("slo", {})
+            for key in (
+                "miss_rate",
+                "worst_streak",
+                "latency_p50_ms",
+                "latency_p99_ms",
+            ):
+                value = tenant_slo.get(key)
+                # NaN (tenant with no measured frames) is not comparable.
+                if value is not None and value == value:
+                    yield f"{prefix}.slo.{key}", float(value)
+        chaos = scenario.get("chaos", {})
+        if "certified" in chaos:
+            yield (
+                f"{scenario_name}.chaos.certified",
+                float(bool(chaos["certified"])),
+            )
+    certification = payload.get("certification")
+    if certification is not None:
+        yield (
+            "certification.certified",
+            float(bool(certification.get("certified"))),
+        )
 
 
 def _classify(

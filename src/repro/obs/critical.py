@@ -191,6 +191,8 @@ def classify_misses(tracer: Tracer, warmup_frames: int = 0) -> list[dict]:
             "over_ms": float(event.attrs.get("over_ms", 0.0)),
             "processed": bool(event.attrs.get("processed", False)),
         }
+        if event.ctx.tenant is not None:
+            record["tenant"] = event.ctx.tenant
         session_windows = degraded.get(event.ctx.session, [])
 
         if record["processed"]:
@@ -398,6 +400,8 @@ def _render_scenario_section(
             f"### s{miss['session']}-f{miss['frame']} · "
             f"+{miss['over_ms']:.3f} ms over budget · cause: {miss['cause']}"
         )
+        if "tenant" in miss:
+            title += f" · tenant: {miss['tenant']}"
         lines.append(title)
         lines.append("")
         trace_id = miss.get("trace", f"s{miss['session']}-f{miss['frame']}")

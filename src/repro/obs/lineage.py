@@ -63,6 +63,8 @@ class RequestLineage:
     session: int
     frame: int
     trace_id: str
+    # Tenancy attribution (multi-tenant fleets; None otherwise).
+    tenant: str | None = None
     # Raw trace material, stitched by context (None = never happened):
     process: Span | None = None  # client.process that produced the offload
     dispatch: TraceEvent | None = None  # offload.dispatch
@@ -215,7 +217,10 @@ def build_lineages(tracer: Tracer) -> dict[str, RequestLineage]:
         lineage = lineages.get(ctx.trace_id)
         if lineage is None:
             lineage = lineages[ctx.trace_id] = RequestLineage(
-                session=ctx.session, frame=ctx.frame, trace_id=ctx.trace_id
+                session=ctx.session,
+                frame=ctx.frame,
+                trace_id=ctx.trace_id,
+                tenant=ctx.tenant,
             )
         return lineage
 

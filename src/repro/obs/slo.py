@@ -63,10 +63,15 @@ def exact_percentile(samples, pct: float) -> float:
 
 
 def frame_latency_spans(
-    tracer: Tracer, warmup_frames: int = 0
+    tracer: Tracer,
+    warmup_frames: int = 0,
+    sessions: set[int] | None = None,
 ) -> list[Span]:
     """Top-level client-lane spans carrying one frame's display latency,
-    ordered by frame index (same selection as ``mean_frame_latency_ms``)."""
+    ordered by frame index (same selection as ``mean_frame_latency_ms``).
+
+    ``sessions`` restricts the selection to those client sessions — the
+    per-tenant SLO slice of a multi-tenant fleet run."""
     spans = [
         span
         for span in tracer.spans
@@ -75,6 +80,10 @@ def frame_latency_spans(
         and span.frame is not None
         and span.frame >= warmup_frames
         and span.lane.startswith("client")
+        and (
+            sessions is None
+            or (span.ctx is not None and span.ctx.session in sessions)
+        )
     ]
     spans.sort(key=lambda s: (s.lane, s.frame))
     return spans
@@ -94,14 +103,19 @@ def evaluate_slo(
     tracer: Tracer,
     budget_ms: float = FRAME_BUDGET_MS,
     warmup_frames: int = 0,
+    sessions: set[int] | None = None,
 ) -> dict:
     """Evaluate the frame-deadline SLO over a traced run.
 
     Returns a JSON-clean dict: frame/miss counts, miss rate, worst
     consecutive-miss streak, total/max overshoot, exact latency
     percentiles, and per-stage attribution counts for the misses.
+    ``sessions`` evaluates the SLO over a subset of client sessions
+    (one tenant's slice of a multi-tenant fleet).
     """
-    spans = frame_latency_spans(tracer, warmup_frames=warmup_frames)
+    spans = frame_latency_spans(
+        tracer, warmup_frames=warmup_frames, sessions=sessions
+    )
     children: dict[int, list[Span]] = {}
     for span in tracer.spans:
         if span.parent_id is not None:

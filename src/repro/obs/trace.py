@@ -51,10 +51,18 @@ class RequestContext:
     into a lineage (:mod:`repro.obs.lineage`).  Both derived identifiers
     are pure functions of ``(session, frame)``: byte-stable across runs
     and processes, never derived from object identity.
+
+    ``tenant`` is the optional tenancy attribution
+    (:mod:`repro.tenancy`): multi-tenant fleets stamp the owning
+    tenant's name so every span/event/lineage of the request can be
+    grouped per tenant.  It is deliberately excluded from ``trace_id``
+    — the causal identity of a frame does not change when tenancy is
+    switched on.
     """
 
     session: int
     frame: int
+    tenant: str | None = None
 
     @property
     def trace_id(self) -> str:
@@ -102,6 +110,8 @@ class Span:
         if self.ctx is not None:
             record["session"] = self.ctx.session
             record["trace"] = self.ctx.trace_id
+            if self.ctx.tenant is not None:
+                record["tenant"] = self.ctx.tenant
         if self.attrs:
             record["attrs"] = self.attrs
         if self.wall_ms is not None:
@@ -135,6 +145,8 @@ class TraceEvent:
         if self.ctx is not None:
             record["session"] = self.ctx.session
             record["trace"] = self.ctx.trace_id
+            if self.ctx.tenant is not None:
+                record["tenant"] = self.ctx.tenant
         if self.attrs:
             record["attrs"] = self.attrs
         return record

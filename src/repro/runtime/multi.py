@@ -71,6 +71,7 @@ class MultiClientPipeline:
         deadline_budget_ms: float | None = None,
         sampler=None,
         chaos=None,
+        autoscaler=None,
     ):
         if not sessions:
             raise ValueError("MultiClientPipeline needs at least one session")
@@ -104,6 +105,18 @@ class MultiClientPipeline:
         # Optional repro.chaos.ChaosInjector, ticked at the top of every
         # frame tick so faults land at deterministic sim-clock instants.
         self.chaos = chaos
+        # Optional repro.tenancy.Autoscaler, ticked right after chaos so
+        # capacity reacts to faults within the same simulated frame.
+        self.autoscaler = autoscaler
+        # Tenant attribution for contexts minted on the client lanes
+        # (the scheduler stamps its own); None outside tenancy runs.
+        directory = getattr(self.scheduler, "tenancy", None)
+        self._tenant_of = (
+            directory.tenant_of if directory is not None else lambda index: None
+        )
+        # The scheduler's per-tenant meter (downlink bytes are only
+        # known here, after the result is encoded for delivery).
+        self._meter = getattr(self.scheduler, "meter", None)
         # Same instrument names as the single-client pipeline, by
         # construction (one shared registration helper).
         self.pm = PipelineMetrics.register(self.tracer.metrics)
@@ -131,6 +144,8 @@ class MultiClientPipeline:
             self.tracer.set_now(now)
             if self.chaos is not None:
                 self.chaos.tick(now)
+            if self.autoscaler is not None:
+                self.autoscaler.tick(now)
             if self.scheduler is not None:
                 self._service_scheduler(now)
             for session_index, session in enumerate(self.sessions):
@@ -174,6 +189,10 @@ class MultiClientPipeline:
                 )
                 continue
             result_bytes = encoded_size_bytes(outcome.masks) + RESULT_HEADER_BYTES
+            if self._meter is not None and outcome.item.tenant is not None:
+                self._meter.add(
+                    outcome.item.tenant, "bytes_down", float(result_bytes)
+                )
             downlink = session.channel.downlink_ms(
                 result_bytes, now_ms=outcome.completion_ms
             )
@@ -233,7 +252,11 @@ class MultiClientPipeline:
             integration_start = max(session.busy_until_ms, now)
             session.busy_until_ms = integration_start + integration
             if tracer.enabled:
-                delivery_ctx = RequestContext(session_index, delivery.frame_index)
+                delivery_ctx = RequestContext(
+                    session_index,
+                    delivery.frame_index,
+                    tenant=self._tenant_of(session_index),
+                )
                 tracer.event(
                     "client.result_delivered",
                     lane=session.client_lane,
@@ -252,7 +275,9 @@ class MultiClientPipeline:
                 )
 
         offloaded = False
-        frame_ctx = RequestContext(session_index, frame_index)
+        frame_ctx = RequestContext(
+            session_index, frame_index, tenant=self._tenant_of(session_index)
+        )
         if session.busy_until_ms <= now:
             with tracer.span(
                 "client.process",
@@ -341,7 +366,9 @@ class MultiClientPipeline:
     def _dispatch(self, session, session_index, request, send_time_ms, now) -> None:
         frame, truth = session.video.frame_at(request.frame_index)
         tracer = self.tracer
-        ctx = RequestContext(session_index, request.frame_index)
+        ctx = RequestContext(
+            session_index, request.frame_index, tenant=self._tenant_of(session_index)
+        )
         if tracer.enabled:
             tracer.event(
                 "offload.dispatch",

@@ -59,11 +59,23 @@ class SessionHealth:
 class DegradeManager:
     """Tracks per-session health and decides degrade/recover moments."""
 
-    def __init__(self, num_sessions: int, config: DegradeConfig | None = None):
+    def __init__(
+        self,
+        num_sessions: int,
+        config: DegradeConfig | None = None,
+        thresholds: dict[int, int] | None = None,
+        recover_rank: dict[int, int] | None = None,
+    ):
         self.config = config or DegradeConfig()
         self.sessions: dict[int, SessionHealth] = {
             index: SessionHealth() for index in range(num_sessions)
         }
+        # Optional per-session QoS overrides (repro.tenancy): a session's
+        # failure threshold scales with its QoS class (premium degrades
+        # last), and recovery is granted in rank order (premium first)
+        # before falling back to oldest-degraded-first.
+        self.thresholds = thresholds or {}
+        self.recover_rank = recover_rank or {}
         self.degrade_events = 0
         self.recover_events = 0
 
@@ -84,10 +96,13 @@ class DegradeManager:
         session into degraded mode."""
         health = self.sessions[session_index]
         health.consecutive_failures += 1
+        threshold = self.thresholds.get(
+            session_index, self.config.failure_threshold
+        )
         if (
             self.config.enabled
             and health.state == NORMAL
-            and health.consecutive_failures >= self.config.failure_threshold
+            and health.consecutive_failures >= threshold
         ):
             health.state = DEGRADED
             health.degraded_at_ms = now_ms
@@ -110,14 +125,14 @@ class DegradeManager:
         if queue_depth > self.config.recover_depth:
             return None
         candidates = [
-            (health.degraded_at_ms, index)
+            (self.recover_rank.get(index, 0), health.degraded_at_ms, index)
             for index, health in self.sessions.items()
             if health.state == DEGRADED
             and now_ms - health.degraded_at_ms >= self.config.min_degraded_ms
         ]
         if not candidates:
             return None
-        _, index = min(candidates)
+        _, _, index = min(candidates)
         health = self.sessions[index]
         health.state = NORMAL
         health.consecutive_failures = 0

@@ -91,7 +91,11 @@ class EarliestDeadlineFirstPolicy(SchedulingPolicy):
         )
 
     def service_key(self, item):
-        return (item.deadline_ms, item.seq)
+        # Identical deadlines tie-break on (session, frame) — stable
+        # request identity — rather than admission order, so the drain
+        # order is a pure function of the workload, not of submission
+        # interleaving.
+        return (item.deadline_ms, item.session_index, item.frame_index)
 
 
 _POLICY_FACTORIES = {

@@ -28,6 +28,9 @@ from ..image.masks import InstanceMask
 from ..obs.trace import NULL_TRACER, RequestContext, Tracer
 from ..runtime.interface import OffloadRequest
 from ..runtime.pipeline import EdgeServer
+from ..tenancy.fairness import FairQueue
+from ..tenancy.metering import TenantMeter
+from ..tenancy.qos import QoSClass, TenantDirectory
 from .admission import (
     ADMIT,
     REJECT_QUEUE_FULL,
@@ -65,6 +68,12 @@ class ServeItem:
     arrive_ms: float  # after the uplink
     deadline_ms: float
     ctx: RequestContext | None = None
+    # Tenancy attribution (multi-tenant fleets only; see repro.tenancy):
+    # owning tenant, its QoS class, and the SFQ virtual start stamped at
+    # submission — the strength of this item's claim on queue slots.
+    tenant: str | None = None
+    qos: QoSClass | None = None
+    vstart: float = 0.0
 
     @property
     def frame_index(self) -> int:
@@ -198,6 +207,7 @@ class FleetScheduler:
         num_sessions: int = 0,
         tracer: Tracer | None = None,
         batching: BatchConfig | None = None,
+        tenancy: TenantDirectory | None = None,
     ):
         self.admission = AdmissionController(admission)
         if batching is not None:
@@ -209,8 +219,33 @@ class FleetScheduler:
             self.admission.config.est_infer_prior_ms,
             batching=self.batching,
         )
+        # Tenancy (repro.tenancy): fair queueing + per-tenant metering,
+        # and QoS-scaled degrade thresholds / recovery ranks below.
+        self.tenancy = tenancy
+        if tenancy is not None and num_sessions and tenancy.num_sessions != num_sessions:
+            raise ValueError(
+                f"tenant directory covers {tenancy.num_sessions} sessions "
+                f"but the fleet has {num_sessions}"
+            )
+        self.fair = FairQueue(tenancy) if tenancy is not None else None
+        self.meter = TenantMeter(tenancy) if tenancy is not None else None
         self.degrade_config = degrade or DegradeConfig()
-        self.degrade = DegradeManager(num_sessions, self.degrade_config)
+        thresholds: dict[int, int] = {}
+        recover_rank: dict[int, int] = {}
+        if tenancy is not None:
+            for index in range(tenancy.num_sessions):
+                qos = tenancy.qos_of(index)
+                thresholds[index] = max(
+                    1,
+                    round(self.degrade_config.failure_threshold * qos.degrade_scale),
+                )
+                recover_rank[index] = qos.priority
+        self.degrade = DegradeManager(
+            num_sessions,
+            self.degrade_config,
+            thresholds=thresholds,
+            recover_rank=recover_rank,
+        )
         self._next_seq = 0
         # Plain-int mirrors of the serve.* counters, kept so ``stats()``
         # reports real totals even when no tracer/registry is attached.
@@ -221,6 +256,7 @@ class FleetScheduler:
             "rejected_infeasible": 0,
             "rejected_no_replica": 0,
             "shed": 0,
+            "displaced": 0,
             "completed": 0,
             "batches": 0,
             "batched_items": 0,
@@ -249,6 +285,7 @@ class FleetScheduler:
         self._m_replica_up = metrics.counter("serve.replica_up")
         self._g_live_replicas = metrics.gauge("serve.live_replicas")
         self._m_shed = metrics.counter("serve.shed")
+        self._m_displaced = metrics.counter("serve.displaced")
         self._m_complete = metrics.counter("serve.complete")
         self._m_degrade = metrics.counter("serve.degrade")
         self._m_recover = metrics.counter("serve.recover")
@@ -263,6 +300,8 @@ class FleetScheduler:
             metrics.gauge(f"serve.server{replica.index}.utilization")
             for replica in self.pool.replicas
         ]
+        if self.meter is not None:
+            self.meter.attach(metrics)
 
     # ------------------------------------------------------------------
     # Facade used by the pipeline
@@ -298,6 +337,12 @@ class FleetScheduler:
         """Admission-check one offload.  Returns ``(admitted, status)``;
         a rejected request never reaches a server and the client should
         be told immediately so it can keep rendering through MAMT."""
+        tenant = qos = None
+        vstart = 0.0
+        if self.tenancy is not None:
+            tenant = self.tenancy.tenant_of(session_index)
+            qos = self.tenancy.qos_of(session_index)
+            vstart = self.fair.vstart(tenant)
         item = ServeItem(
             seq=self._next_seq,
             session_index=session_index,
@@ -307,15 +352,23 @@ class FleetScheduler:
             send_ms=send_ms,
             arrive_ms=arrive_ms,
             deadline_ms=self.deadline_for(send_ms, budget_ms),
-            ctx=RequestContext(session_index, request.frame_index),
+            ctx=RequestContext(session_index, request.frame_index, tenant=tenant),
+            tenant=tenant,
+            qos=qos,
+            vstart=vstart,
         )
         self._next_seq += 1
         self.counts["submitted"] += 1
         self._m_submitted.inc()
+        self._meter(tenant, "submitted")
+        # The uplink already happened by the time admission runs, so the
+        # bytes are charged to the tenant whatever the verdict.
+        self._meter(tenant, "bytes_up", float(request.payload_bytes))
 
         if not self.pool.live_replicas():
             self.counts["rejected_no_replica"] += 1
             self._m_reject_no_replica.inc()
+            self._meter(tenant, "rejected_no_replica")
             if self.tracer.enabled:
                 self.tracer.event(
                     "serve.reject",
@@ -334,31 +387,26 @@ class FleetScheduler:
         replica = self.pool.choose(item, now_ms)
         decision = self.admission.check(item, replica, now_ms)
         if decision.admitted:
-            replica.queue.append(item)
-            self.counts["admitted"] += 1
-            self._m_admit.inc()
-            self.degrade.on_success(session_index)
-            if self.tracer.enabled:
-                self.tracer.event(
-                    "serve.admit",
-                    lane="serve",
-                    ts_ms=arrive_ms,
-                    frame=item.frame_index,
-                    ctx=item.ctx,
-                    session=session_index,
-                    server=replica.index,
-                    deadline_ms=round(item.deadline_ms, 6),
-                    est_completion_ms=round(decision.est_completion_ms, 6),
-                    queue_depth=len(replica.queue),
-                )
+            self._admit(item, replica, decision.est_completion_ms, arrive_ms)
             return True, ADMIT
 
         if decision.status == REJECT_QUEUE_FULL:
+            # Weighted-fair displacement: a full queue is not a flat
+            # rejection when tenancy is on — an arrival with a stronger
+            # claim (higher QoS, then earlier SFQ virtual start) evicts
+            # the weakest queued item instead, so a saturating tenant
+            # cannot hold every slot against the others.
+            if self.tenancy is not None and self._try_displace(
+                item, replica, decision.est_completion_ms, arrive_ms, now_ms
+            ):
+                return True, ADMIT
             self.counts["rejected_queue_full"] += 1
             self._m_reject_queue.inc()
+            self._meter(tenant, "rejected_queue_full")
         else:
             self.counts["rejected_infeasible"] += 1
             self._m_reject_deadline.inc()
+            self._meter(tenant, "rejected_infeasible")
         if self.tracer.enabled:
             self.tracer.event(
                 "serve.reject",
@@ -374,6 +422,104 @@ class FleetScheduler:
             )
         self._note_failure(session_index, now_ms)
         return False, decision.status
+
+    # ------------------------------------------------------------------
+    def _meter(self, tenant: str | None, key: str, amount: float = 1) -> None:
+        if self.meter is not None and tenant is not None:
+            self.meter.add(tenant, key, amount)
+
+    def _admit(
+        self,
+        item: ServeItem,
+        replica: ServerReplica,
+        est_completion_ms: float,
+        arrive_ms: float,
+    ) -> None:
+        """Commit one admission: queue slot, counters, fair clock."""
+        replica.queue.append(item)
+        self.counts["admitted"] += 1
+        self._m_admit.inc()
+        self._meter(item.tenant, "admitted")
+        if self.fair is not None and item.tenant is not None:
+            self.fair.commit(item.tenant)
+        self.degrade.on_success(item.session_index)
+        if self.tracer.enabled:
+            attrs = {}
+            if item.tenant is not None:
+                attrs["vstart"] = round(item.vstart, 6)
+            self.tracer.event(
+                "serve.admit",
+                lane="serve",
+                ts_ms=arrive_ms,
+                frame=item.frame_index,
+                ctx=item.ctx,
+                session=item.session_index,
+                server=replica.index,
+                deadline_ms=round(item.deadline_ms, 6),
+                est_completion_ms=round(est_completion_ms, 6),
+                queue_depth=len(replica.queue),
+                **attrs,
+            )
+
+    @staticmethod
+    def _claim(item: ServeItem) -> tuple:
+        """Strength of an item's hold on a queue slot (smaller wins):
+        QoS priority, then SFQ virtual start, then (session, frame) —
+        the deterministic tie-break for identical virtual starts."""
+        assert item.qos is not None
+        return (
+            item.qos.priority,
+            item.vstart,
+            item.session_index,
+            item.frame_index,
+        )
+
+    def _try_displace(
+        self,
+        item: ServeItem,
+        replica: ServerReplica,
+        est_completion_ms: float,
+        arrive_ms: float,
+        now_ms: float,
+    ) -> bool:
+        """Evict the weakest-claim queued item in favour of ``item`` if
+        the newcomer's claim is strictly stronger.  Shed-exempt
+        (premium) queue entries are never displaced."""
+        victims = [
+            queued for queued in replica.queue if not queued.qos.shed_exempt
+        ]
+        if not victims:
+            return False
+        victim = max(victims, key=self._claim)
+        if not self._claim(item) < self._claim(victim):
+            return False
+        replica.queue.remove(victim)
+        replica.shed += 1
+        self.counts["shed"] += 1
+        self.counts["displaced"] += 1
+        self._m_shed.inc()
+        self._m_displaced.inc()
+        self._meter(victim.tenant, "shed")
+        self._meter(victim.tenant, "displaced")
+        if self.tracer.enabled:
+            self.tracer.event(
+                "serve.shed",
+                lane="serve",
+                ts_ms=arrive_ms,
+                frame=victim.frame_index,
+                ctx=victim.ctx,
+                session=victim.session_index,
+                server=replica.index,
+                deadline_ms=round(victim.deadline_ms, 6),
+                reason="displaced",
+                by=item.ctx.trace_id if item.ctx is not None else None,
+            )
+        self._note_failure(victim.session_index, now_ms)
+        self._pending_outcomes.append(
+            ServeOutcome(kind="shed", item=victim, server_index=replica.index)
+        )
+        self._admit(item, replica, est_completion_ms, arrive_ms)
+        return True
 
     # ------------------------------------------------------------------
     def advance(self, now_ms: float) -> list[ServeOutcome]:
@@ -433,11 +579,17 @@ class FleetScheduler:
             )
             chosen = None
             for item in arrived:
-                if self.admission.should_shed(item, pick_ms, replica.est_infer_ms):
+                # Shed-exempt (premium) items are dispatched even when
+                # late — the tenant paid for the full offload path.
+                sheddable = item.qos is None or not item.qos.shed_exempt
+                if sheddable and self.admission.should_shed(
+                    item, pick_ms, replica.est_infer_ms
+                ):
                     replica.queue.remove(item)
                     replica.shed += 1
                     self.counts["shed"] += 1
                     self._m_shed.inc()
+                    self._meter(item.tenant, "shed")
                     if self.tracer.enabled:
                         self.tracer.event(
                             "serve.shed",
@@ -478,6 +630,8 @@ class FleetScheduler:
             replica.completed += 1
             self.counts["completed"] += 1
             self._m_complete.inc()
+            self._meter(chosen.tenant, "completed")
+            self._meter(chosen.tenant, "server_ms", completion - start)
             outcomes.append(
                 ServeOutcome(
                     kind="complete",
@@ -568,6 +722,12 @@ class FleetScheduler:
         for solo in solo_ms:
             replica.observe_infer(solo, alpha)
         size = len(members)
+        for item in members:
+            self._meter(item.tenant, "completed")
+            # Batched service cost is split evenly across the members —
+            # the per-tenant server_ms sums stay within float tolerance
+            # of the pool's busy_ms_total.
+            self._meter(item.tenant, "server_ms", batch_ms / size)
         replica.completed += size
         replica.batches += 1
         replica.batched_items += size
@@ -631,6 +791,7 @@ class FleetScheduler:
             replica.shed += 1
             self.counts["shed"] += 1
             self._m_shed.inc()
+            self._meter(item.tenant, "shed")
             if self.tracer.enabled:
                 self.tracer.event(
                     "serve.shed",
@@ -675,6 +836,33 @@ class FleetScheduler:
                 server=index,
                 live=len(self.pool.live_replicas()),
             )
+
+    # ------------------------------------------------------------------
+    # Autoscaler surface (repro.tenancy.Autoscaler drives these).  These
+    # flips are *capacity management*, not faults: no kill/revive
+    # counters, no orphaned work, and the autoscaler itself emits the
+    # autoscale.* events around them.
+    # ------------------------------------------------------------------
+    def set_replica_standby(self, index: int) -> None:
+        """Park a live replica out of placement rotation."""
+        replica = self.pool.replicas[index]
+        if not replica.alive:
+            return
+        if replica.queue:
+            raise ValueError(
+                f"cannot stand by replica {index} with "
+                f"{len(replica.queue)} queued item(s)"
+            )
+        replica.alive = False
+        self._g_live_replicas.set(len(self.pool.live_replicas()))
+
+    def set_replica_active(self, index: int) -> None:
+        """Return a standby replica to placement rotation."""
+        replica = self.pool.replicas[index]
+        if replica.alive:
+            return
+        replica.alive = True
+        self._g_live_replicas.set(len(self.pool.live_replicas()))
 
     def set_latency_scale(self, index: int, scale: float) -> None:
         """Inflate (or restore) one replica's service time — the chaos
@@ -735,12 +923,19 @@ class FleetScheduler:
             "replica_kills": self.counts["replica_kills"],
             "replica_revives": self.counts["replica_revives"],
             "shed": shed,
+            "displaced": self.counts["displaced"],
             "completed": self.counts["completed"],
             "shed_rate": round(shed / submitted, 6) if submitted else 0.0,
             "left_in_queue": self.pool.queue_depth(),
             "degrade": self.degrade.stats(),
             "per_server": per_server,
         }
+        if self.tenancy is not None:
+            out["tenancy"] = {
+                "tenants": self.tenancy.describe(),
+                "per_tenant": self.meter.stats(),
+                "fair": self.fair.stats(),
+            }
         if self.batching is not None:
             completed = self.counts["completed"]
             out["batching"] = {

@@ -1,0 +1,45 @@
+"""`repro.tenancy` — multi-tenant identity, QoS, fairness and scaling.
+
+The serving layer (:mod:`repro.serve`) treats every session as an equal;
+this package adds the tenant dimension on top of it:
+
+* :mod:`repro.tenancy.qos` — tenant identity and QoS classes
+  (``premium`` / ``standard`` / ``best_effort``) mapped onto fleet
+  sessions by a :class:`TenantDirectory`;
+* :mod:`repro.tenancy.fairness` — start-time fair queueing over
+  per-tenant virtual clocks, so a saturating tenant cannot starve the
+  others out of the bounded replica queues;
+* :mod:`repro.tenancy.metering` — per-tenant counters (admitted,
+  rejected, shed, displaced, completed, server-ms, uplink/downlink
+  bytes) exported as ``tenant.*`` metrics through :mod:`repro.obs`;
+* :mod:`repro.tenancy.autoscaler` — a deterministic queue-driven
+  replica autoscaler with warm-up lag and scale-down hysteresis,
+  emitting ``autoscale.*`` trace events on the simulated clock.
+
+See ``docs/tenancy.md`` for the design tour.
+"""
+
+from .qos import (
+    DEFAULT_TENANTS,
+    QOS_CLASSES,
+    QoSClass,
+    TenantDirectory,
+    TenantSpec,
+    parse_tenants,
+)
+from .fairness import FairQueue
+from .metering import TenantMeter
+from .autoscaler import Autoscaler, AutoscalerConfig
+
+__all__ = [
+    "QoSClass",
+    "QOS_CLASSES",
+    "TenantSpec",
+    "TenantDirectory",
+    "DEFAULT_TENANTS",
+    "parse_tenants",
+    "FairQueue",
+    "TenantMeter",
+    "Autoscaler",
+    "AutoscalerConfig",
+]

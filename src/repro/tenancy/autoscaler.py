@@ -1,0 +1,213 @@
+"""Deterministic queue-driven replica autoscaler.
+
+The :class:`~repro.serve.scheduler.ServerPool` is provisioned with
+``max_replicas`` servers up front; the autoscaler keeps only a working
+set of them live and holds the rest in *standby*.  Once per frame tick
+(on the simulated clock — never a wall clock) it reads the fleet's
+queue depth and:
+
+* **scales up** when queued work per live replica exceeds
+  ``scale_up_depth``: the lowest-index standby replica starts *warming*
+  and joins placement only ``warmup_ms`` later — capacity is never free
+  or instant;
+* **scales down** when the fleet has been at or below
+  ``scale_down_depth`` queued requests per live replica for
+  ``scale_down_hold_ms`` (hysteresis, so a single idle tick between
+  bursts does not flap capacity): the highest-index live replica with an
+  empty queue returns to standby, never dropping below ``min_replicas``.
+
+Every transition emits an ``autoscale.*`` trace event and appends to
+``replica_series`` — a ``[ms, live]`` step series that is byte-identical
+across identical runs (the determinism contract the tenants bench suite
+asserts).  Chaos interop falls out of the design: a ``kill_replica``
+fault drops the live count, queue depth per live replica rises, and the
+autoscaler warms a standby replica to cover the loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AutoscalerConfig", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Knobs of the queue-driven scaling loop."""
+
+    # Live-replica floor; the pool size is the ceiling.
+    min_replicas: int = 1
+    # Scale up when queue depth per live replica exceeds this.
+    scale_up_depth: float = 2.0
+    # Scale-down eligibility: at or below this depth per live replica.
+    scale_down_depth: float = 0.0
+    # Simulated ms between the scale-up decision and the replica
+    # actually taking placements (model of model-load / container start).
+    warmup_ms: float = 200.0
+    # The fleet must stay scale-down-eligible this long before capacity
+    # is returned (hysteresis against flapping).
+    scale_down_hold_ms: float = 1000.0
+    # Minimum ms between two scaling decisions in either direction.
+    cooldown_ms: float = 100.0
+
+    def validate(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError("autoscaler min_replicas must be >= 1")
+        if self.warmup_ms < 0.0 or self.scale_down_hold_ms < 0.0 or self.cooldown_ms < 0.0:
+            raise ValueError("autoscaler timings must be non-negative")
+        if self.scale_up_depth <= self.scale_down_depth:
+            raise ValueError(
+                "scale_up_depth must exceed scale_down_depth "
+                f"({self.scale_up_depth} vs {self.scale_down_depth})"
+            )
+
+
+class Autoscaler:
+    """Grows/shrinks a FleetScheduler's live replica set on queue depth."""
+
+    def __init__(self, scheduler, config: AutoscalerConfig | None = None):
+        self.config = config or AutoscalerConfig()
+        self.config.validate()
+        self.scheduler = scheduler
+        pool_size = len(scheduler.pool)
+        if self.config.min_replicas > pool_size:
+            raise ValueError(
+                f"autoscaler min_replicas={self.config.min_replicas} exceeds "
+                f"pool size {pool_size}"
+            )
+        # Replicas above the floor start in standby, highest index last
+        # so scale-ups activate the lowest-index spare first.
+        self._standby: list[int] = list(range(self.config.min_replicas, pool_size))
+        for index in self._standby:
+            scheduler.set_replica_standby(index)
+        # (ready_at_ms, index) warm-ups in flight, kept sorted.
+        self._warming: list[tuple[float, int]] = []
+        self._low_since_ms: float | None = None
+        self._last_decision_ms: float | None = None
+        self.scale_ups = 0
+        self.scale_downs = 0
+        # Step series of the live-replica count: [[ms, live], ...].
+        self.replica_series: list[list[float]] = [
+            [0.0, len(scheduler.pool.live_replicas())]
+        ]
+
+    # ------------------------------------------------------------------
+    def _record(self, now_ms: float) -> None:
+        live = len(self.scheduler.pool.live_replicas())
+        if self.replica_series[-1][1] != live:
+            self.replica_series.append([round(now_ms, 6), live])
+
+    def _cooled_down(self, now_ms: float) -> bool:
+        return (
+            self._last_decision_ms is None
+            or now_ms - self._last_decision_ms >= self.config.cooldown_ms
+        )
+
+    # ------------------------------------------------------------------
+    def tick(self, now_ms: float) -> None:
+        """One scaling step at the simulated instant ``now_ms``."""
+        tracer = self.scheduler.tracer
+        # 1. Finish warm-ups that have become ready.
+        ready = [entry for entry in self._warming if entry[0] <= now_ms]
+        if ready:
+            self._warming = [e for e in self._warming if e[0] > now_ms]
+            for ready_at, index in sorted(ready):
+                self.scheduler.set_replica_active(index)
+                if tracer.enabled:
+                    tracer.event(
+                        "autoscale.replica_ready",
+                        lane="serve",
+                        ts_ms=now_ms,
+                        server=index,
+                        warmed_ms=round(now_ms - ready_at + self.config.warmup_ms, 6),
+                        live=len(self.scheduler.pool.live_replicas()),
+                    )
+            self._record(now_ms)
+
+        depth = self.scheduler.pool.queue_depth()
+        live = len(self.scheduler.pool.live_replicas())
+        per_live = depth / live if live else float(depth)
+
+        # 2. Scale up: one standby replica per decision.
+        if (
+            self._standby
+            and self._cooled_down(now_ms)
+            and (per_live > self.config.scale_up_depth or live == 0)
+        ):
+            index = self._standby.pop(0)
+            ready_at = now_ms + self.config.warmup_ms
+            self._warming.append((ready_at, index))
+            self._warming.sort()
+            self._last_decision_ms = now_ms
+            self._low_since_ms = None
+            self.scale_ups += 1
+            if tracer.enabled:
+                tracer.event(
+                    "autoscale.scale_up",
+                    lane="serve",
+                    ts_ms=now_ms,
+                    server=index,
+                    queue_depth=depth,
+                    live=live,
+                    ready_at_ms=round(ready_at, 6),
+                )
+            return
+
+        # 3. Scale down: hysteresis over the low-load condition.
+        eligible = (
+            live > self.config.min_replicas
+            and not self._warming
+            and per_live <= self.config.scale_down_depth
+        )
+        if not eligible:
+            self._low_since_ms = None
+            return
+        if self._low_since_ms is None:
+            self._low_since_ms = now_ms
+        if (
+            now_ms - self._low_since_ms >= self.config.scale_down_hold_ms
+            and self._cooled_down(now_ms)
+        ):
+            idle = [
+                replica.index
+                for replica in self.scheduler.pool.live_replicas()
+                if not replica.queue and replica.server.is_free_at(now_ms)
+            ]
+            if not idle:
+                return
+            index = max(idle)
+            self.scheduler.set_replica_standby(index)
+            self._standby.append(index)
+            self._standby.sort()
+            self._last_decision_ms = now_ms
+            self._low_since_ms = None
+            self.scale_downs += 1
+            if tracer.enabled:
+                tracer.event(
+                    "autoscale.scale_down",
+                    lane="serve",
+                    ts_ms=now_ms,
+                    server=index,
+                    queue_depth=depth,
+                    live=len(self.scheduler.pool.live_replicas()),
+                )
+            self._record(now_ms)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-clean summary for BENCH artifacts and the CLI table."""
+        return {
+            "min_replicas": self.config.min_replicas,
+            "max_replicas": len(self.scheduler.pool),
+            "scale_up_depth": self.config.scale_up_depth,
+            "scale_down_depth": self.config.scale_down_depth,
+            "warmup_ms": self.config.warmup_ms,
+            "scale_down_hold_ms": self.config.scale_down_hold_ms,
+            "cooldown_ms": self.config.cooldown_ms,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "warming": len(self._warming),
+            "standby": list(self._standby),
+            "final_live": len(self.scheduler.pool.live_replicas()),
+            "replica_series": [list(point) for point in self.replica_series],
+        }

@@ -1,0 +1,98 @@
+"""Per-tenant metering: who consumed what out of the shared fleet.
+
+The scheduler already counts fleet-wide ``serve.*`` totals; the meter
+splits every one of those events by tenant, plus the resources behind
+them (server milliseconds, uplink/downlink bytes).  Counters are
+exported as ``tenant.<name>.<counter>`` metrics through the scheduler's
+registry *and* mirrored as plain numbers, so :meth:`stats` reports real
+totals even when no tracer is attached — the same dual-bookkeeping
+pattern as ``FleetScheduler.counts``.
+
+The reconciliation contract (asserted by the tenants bench suite): for
+every request counter, the sum across tenants equals the fleet-level
+``serve.*`` total *exactly* — tenancy never loses or double-counts a
+request.
+"""
+
+from __future__ import annotations
+
+from .qos import TenantDirectory
+
+__all__ = ["TenantMeter", "REQUEST_COUNTERS", "RESOURCE_COUNTERS"]
+
+# Integer request-event counters; sums across tenants must reconcile
+# exactly with the scheduler's fleet-level counts.
+REQUEST_COUNTERS = (
+    "submitted",
+    "admitted",
+    "rejected_queue_full",
+    "rejected_infeasible",
+    "rejected_no_replica",
+    "shed",
+    "displaced",
+    "completed",
+)
+
+# Resource consumption (floats / byte totals).
+RESOURCE_COUNTERS = (
+    "server_ms",
+    "bytes_up",
+    "bytes_down",
+)
+
+
+class TenantMeter:
+    """Per-tenant request and resource accounting."""
+
+    def __init__(self, directory: TenantDirectory):
+        self.directory = directory
+        self.counts: dict[str, dict[str, float]] = {
+            name: {key: 0 for key in REQUEST_COUNTERS}
+            | {key: 0.0 for key in RESOURCE_COUNTERS}
+            for name in directory.tenants
+        }
+        self._metrics = None
+        self._counters: dict[tuple[str, str], object] = {}
+
+    def attach(self, metrics) -> None:
+        """(Re)bind a metrics registry; registers one
+        ``tenant.<name>.<counter>`` counter per (tenant, key)."""
+        self._metrics = metrics
+        self._counters = {
+            (name, key): metrics.counter(f"tenant.{name}.{key}")
+            for name in self.directory.tenants
+            for key in REQUEST_COUNTERS + RESOURCE_COUNTERS
+        }
+
+    # ------------------------------------------------------------------
+    def add(self, tenant: str, key: str, amount: float = 1) -> None:
+        self.counts[tenant][key] += amount
+        counter = self._counters.get((tenant, key))
+        if counter is not None:
+            counter.inc(amount)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-clean per-tenant summary in directory (spec) order."""
+        out = {}
+        for name in self.directory.tenants:
+            counts = self.counts[name]
+            entry = {key: int(counts[key]) for key in REQUEST_COUNTERS}
+            entry["server_ms"] = round(counts["server_ms"], 6)
+            entry["bytes_up"] = int(counts["bytes_up"])
+            entry["bytes_down"] = int(counts["bytes_down"])
+            submitted = entry["submitted"]
+            entry["shed_rate"] = (
+                round(entry["shed"] / submitted, 6) if submitted else 0.0
+            )
+            entry["qos"] = self.directory.spec_for(name).qos
+            out[name] = entry
+        return out
+
+    def totals(self) -> dict:
+        """Sums across tenants, for reconciliation against ``serve.*``."""
+        out = {key: 0 for key in REQUEST_COUNTERS}
+        for name in self.directory.tenants:
+            for key in REQUEST_COUNTERS:
+                out[key] += int(self.counts[name][key])
+        return out

@@ -1,0 +1,174 @@
+"""Tenant identity and QoS classes for the multi-tenant serving layer.
+
+A *tenant* is a named group of sessions sharing one service contract.
+Each tenant belongs to one of three QoS classes, ordered by how much of
+the fleet's scarcity it is expected to absorb:
+
+* ``premium`` — tight deadlines, largest fair-share weight, never shed
+  or displaced out of a replica queue, degrades last and recovers first;
+* ``standard`` — the default contract;
+* ``best_effort`` — smallest weight, displaced first when queues fill,
+  degrades to on-device MAMT after a single failure and recovers last.
+
+The mapping from fleet session index to tenant is a
+:class:`TenantDirectory`: sessions are assigned to tenants in spec
+order, deterministically, so two identical fleet runs see identical
+tenant attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "QoSClass",
+    "QOS_CLASSES",
+    "TenantSpec",
+    "TenantDirectory",
+    "DEFAULT_TENANTS",
+    "parse_tenants",
+]
+
+
+@dataclass(frozen=True)
+class QoSClass:
+    """One service contract tier.
+
+    ``priority`` orders displacement claims (0 is strongest); ``weight``
+    is the start-time-fair-queueing share; ``degrade_scale`` multiplies
+    the degrade failure threshold (larger = degrades later); sessions
+    recover from degradation in ``priority`` order, strongest first.
+    """
+
+    name: str
+    priority: int
+    weight: float
+    shed_exempt: bool
+    degrade_scale: float
+
+
+QOS_CLASSES: dict[str, QoSClass] = {
+    "premium": QoSClass(
+        "premium", priority=0, weight=4.0, shed_exempt=True, degrade_scale=2.0
+    ),
+    "standard": QoSClass(
+        "standard", priority=1, weight=2.0, shed_exempt=False, degrade_scale=1.0
+    ),
+    "best_effort": QoSClass(
+        "best_effort", priority=2, weight=1.0, shed_exempt=False, degrade_scale=0.5
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a name, a QoS class and a session count."""
+
+    name: str
+    qos: str
+    num_sessions: int
+
+    def __post_init__(self) -> None:
+        if self.qos not in QOS_CLASSES:
+            raise ValueError(
+                f"unknown QoS class {self.qos!r}; pick from {sorted(QOS_CLASSES)}"
+            )
+        if self.num_sessions < 1:
+            raise ValueError(
+                f"tenant {self.name!r} needs at least one session, "
+                f"got {self.num_sessions}"
+            )
+
+
+class TenantDirectory:
+    """Deterministic session-index -> tenant mapping for one fleet run.
+
+    Sessions are assigned contiguously in spec order: the first
+    ``specs[0].num_sessions`` indices belong to the first tenant, and so
+    on.  Iteration order everywhere is spec order, never dict order of
+    a runtime structure.
+    """
+
+    def __init__(self, specs: list[TenantSpec] | tuple[TenantSpec, ...]):
+        if not specs:
+            raise ValueError("TenantDirectory needs at least one TenantSpec")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+        self.specs: tuple[TenantSpec, ...] = tuple(specs)
+        self._by_session: list[str] = []
+        for spec in self.specs:
+            self._by_session.extend([spec.name] * spec.num_sessions)
+        self._spec_by_name = {spec.name: spec for spec in self.specs}
+
+    @property
+    def num_sessions(self) -> int:
+        return len(self._by_session)
+
+    @property
+    def tenants(self) -> list[str]:
+        """Tenant names in spec order."""
+        return [spec.name for spec in self.specs]
+
+    def tenant_of(self, session_index: int) -> str:
+        return self._by_session[session_index]
+
+    def qos_of(self, session_index: int) -> QoSClass:
+        return QOS_CLASSES[self._spec_by_name[self._by_session[session_index]].qos]
+
+    def qos_for(self, tenant: str) -> QoSClass:
+        return QOS_CLASSES[self._spec_by_name[tenant].qos]
+
+    def spec_for(self, tenant: str) -> TenantSpec:
+        return self._spec_by_name[tenant]
+
+    def sessions_of(self, tenant: str) -> list[int]:
+        return [
+            index
+            for index, name in enumerate(self._by_session)
+            if name == tenant
+        ]
+
+    def describe(self) -> list[dict]:
+        """JSON-clean spec summary in deterministic order."""
+        return [
+            {
+                "name": spec.name,
+                "qos": spec.qos,
+                "num_sessions": spec.num_sessions,
+                "weight": QOS_CLASSES[spec.qos].weight,
+            }
+            for spec in self.specs
+        ]
+
+
+# The stock mixed-QoS fleet used by CLI defaults and the tenants suite:
+# two premium phones, two standard, four best-effort.
+DEFAULT_TENANTS: tuple[TenantSpec, ...] = (
+    TenantSpec("gold", "premium", 2),
+    TenantSpec("silver", "standard", 2),
+    TenantSpec("bulk", "best_effort", 4),
+)
+
+
+def parse_tenants(text: str) -> tuple[TenantSpec, ...]:
+    """Parse a ``name:qos:count[,name:qos:count...]`` CLI string."""
+    specs = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        pieces = part.split(":")
+        if len(pieces) != 3:
+            raise ValueError(
+                f"bad tenant spec {part!r}; expected name:qos:count"
+            )
+        name, qos, count = pieces
+        try:
+            num = int(count)
+        except ValueError:
+            raise ValueError(f"bad session count {count!r} in tenant spec {part!r}")
+        specs.append(TenantSpec(name, qos, num))
+    if not specs:
+        raise ValueError(f"no tenant specs in {text!r}")
+    return tuple(specs)

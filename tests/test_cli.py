@@ -173,6 +173,79 @@ class TestCleanErrors:
         assert "replica-outage" in err
 
 
+class TestListFlags:
+    """Every long-running verb exposes ``--list``: a deterministic
+    enumeration of the names it accepts, exit 0, nothing executed."""
+
+    def _run(self, argv, capsys):
+        code = main(argv)
+        return code, capsys.readouterr().out
+
+    def test_serve_list(self, capsys):
+        code, out = self._run(["serve", "--list"], capsys)
+        assert code == 0
+        assert "systems:" in out
+        assert "qos:" in out and "premium" in out
+
+    def test_bench_run_list(self, capsys):
+        code, out = self._run(["bench", "run", "--list"], capsys)
+        assert code == 0
+        assert "tenants:" in out and "mixed-saturate" in out
+        assert "chaos:" in out
+
+    def test_chaos_list(self, capsys):
+        code, out = self._run(["chaos", "--list"], capsys)
+        assert code == 0
+        assert "scenarios:" in out and "faults:" in out and "cells:" in out
+
+    def test_why_list(self, capsys):
+        code, out = self._run(["why", "--list"], capsys)
+        assert code == 0
+        assert "suites:" in out
+
+    def test_tenants_list(self, capsys):
+        code, out = self._run(["tenants", "--list"], capsys)
+        assert code == 0
+        assert "qos:" in out
+        assert "default tenants:" in out and "gold:premium:2" in out
+        assert "cells:" in out and "autoscale-burst" in out
+
+    def test_list_output_is_deterministic(self, capsys):
+        first = self._run(["tenants", "--list"], capsys)
+        second = self._run(["tenants", "--list"], capsys)
+        assert first == second
+
+
+class TestTenantServe:
+    def test_serve_with_tenants_prints_per_tenant_rows(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--clients", "4",
+                "--frames", "12",
+                "--warmup", "4",
+                "--tenants", "gold:premium:2,bulk:best_effort:2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gold" in out and "bulk" in out
+
+    def test_serve_tenant_count_mismatch_is_clean_error(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--clients", "3",
+                "--frames", "8",
+                "--tenants", "gold:premium:2",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+
 class TestChaosCommand:
     def test_filtered_cell_certifies(self, capsys, tmp_path):
         """A single scenario x fault cell runs end to end, prints the

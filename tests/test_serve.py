@@ -116,6 +116,23 @@ class TestPolicies:
         second = make_item(seq=1, deadline_ms=100.0)
         assert sorted([second, first], key=policy.service_key)[0] is first
 
+    def test_edf_identical_deadlines_break_on_session_then_frame(self):
+        # Identical deadlines must order by stable request identity
+        # (session, then frame) — never by admission order — so drain
+        # order is a pure function of the workload.
+        policy = make_policy("edf")
+        items = [
+            make_item(seq=5, session=1, deadline_ms=400.0),
+            make_item(seq=6, session=0, deadline_ms=400.0),
+            make_item(seq=2, session=0, deadline_ms=400.0),
+        ]
+        ordered = sorted(items, key=policy.service_key)
+        assert [(i.session_index, i.frame_index) for i in ordered] == [
+            (0, 2),
+            (0, 6),
+            (1, 5),
+        ]
+
 
 class TestAdmission:
     def test_deadline_from_horizon(self):
@@ -161,6 +178,37 @@ class TestAdmission:
         item = make_item(deadline_ms=400.0)
         assert controller.should_shed(item, start_ms=395.0, est_infer_ms=100.0)
         assert not controller.should_shed(item, start_ms=100.0, est_infer_ms=100.0)
+
+    def test_admit_exactly_at_feasibility_threshold(self):
+        # The feasibility check is strict (est > deadline): an arrival
+        # whose estimated completion lands exactly on its deadline is
+        # still admitted; one estimated a hair later is rejected.
+        controller = AdmissionController()
+        replica = make_replicas(0.0, est_infer_ms=100.0)[0]
+        est = controller.estimate_completion(
+            make_item(arrive_ms=10.0), replica, 0.0
+        )
+        at = controller.check(
+            make_item(arrive_ms=10.0, deadline_ms=est), replica, 0.0
+        )
+        assert at.status == ADMIT
+        assert at.est_completion_ms == pytest.approx(est)
+        below = controller.check(
+            make_item(arrive_ms=10.0, deadline_ms=est - 0.001), replica, 0.0
+        )
+        assert below.status == REJECT_INFEASIBLE
+
+    def test_queue_full_reported_before_infeasibility(self):
+        # Both reject reasons apply here; the queue-full verdict must win
+        # deterministically (it is checked first), so rejection counters
+        # are stable under backlog estimate drift.
+        controller = AdmissionController(AdmissionConfig(queue_limit=1))
+        replica = make_replicas(700.0, est_infer_ms=350.0)[0]
+        replica.queue.append(make_item(0))
+        decision = controller.check(
+            make_item(1, arrive_ms=10.0, deadline_ms=400.0), replica, 0.0
+        )
+        assert decision.status == REJECT_QUEUE_FULL
 
 
 class TestDegradeManager:
@@ -279,6 +327,48 @@ class TestFleetScheduler:
             assert not admitted and status == REJECT_INFEASIBLE
         assert scheduler.is_degraded(0)
         assert scheduler.counts["rejected_infeasible"] == 2
+
+    def test_shed_and_reject_accounting_reconciles(self):
+        from repro.tenancy import TenantDirectory, parse_tenants
+
+        directory = TenantDirectory(
+            parse_tenants("bulk:best_effort:1,gold:premium:1")
+        )
+        scheduler = FleetScheduler(
+            [make_edge_server()],
+            num_sessions=2,
+            tenancy=directory,
+            admission=AdmissionConfig(queue_limit=1),
+        )
+        request_of = lambda tick: OffloadRequest(  # noqa: E731
+            frame_index=tick, payload_bytes=1000, encode_ms=5.0
+        )
+        for tick in range(10):
+            now = 30.0 * tick
+            scheduler.submit(
+                tick % 2, request_of(tick), [], (120, 160),
+                now, now + 1.0, 33.0, now,
+            )
+            scheduler.advance(now)
+        scheduler.advance(100_000.0)
+        counts = scheduler.counts
+        # Every submission gets exactly one admission verdict, and every
+        # admitted item either completes or is shed (displaced items are
+        # a subset of shed) — the books balance on both axes, and the
+        # per-tenant meters agree with the fleet counters exactly.
+        assert counts["submitted"] == 10
+        verdicts = (
+            counts["admitted"]
+            + counts["rejected_queue_full"]
+            + counts["rejected_infeasible"]
+            + counts["rejected_no_replica"]
+        )
+        assert verdicts == counts["submitted"]
+        assert counts["completed"] + counts["shed"] == counts["admitted"]
+        assert counts["displaced"] <= counts["shed"]
+        totals = scheduler.meter.totals()
+        for key, value in totals.items():
+            assert value == counts[key], key
 
     def test_drain_completes_admitted_work(self):
         scheduler = self.make_scheduler()
